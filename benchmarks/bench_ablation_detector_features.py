@@ -1,0 +1,80 @@
+"""Ablation — which detector input representation works at this scale?
+
+The paper asserts logits suffice (Sec. 3).  This ablation compares three
+feature choices on identical training pools and held-out pools:
+
+* raw logits (the paper's choice),
+* sorted logits (this reproduction's default — margin becomes linear),
+* softmax probabilities.
+
+Shape expectation: all carry the signal; sorted logits dominate at our
+training-set size, softmax compresses the scale information the paper's
+Fig. 1 highlights.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.core.detector import ADVERSARIAL, BENIGN, build_detector_network, detector_training_data
+from repro.eval.adversarial_sets import build_targeted_pool
+from repro.nn import Adam, TrainConfig, fit
+
+
+def _softmax(z):
+    shifted = z - z.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)
+
+
+_FEATURES = {
+    "raw-logits": lambda z: z,
+    "sorted-logits": lambda z: np.sort(z, axis=1),
+    "softmax": _softmax,
+}
+
+
+def test_ablation_detector_features(benchmark, mnist_ctx):
+    ctx = mnist_ctx
+    features, labels, indices = detector_training_data(
+        ctx.model, ctx.dataset, ctx.scale.detector_seeds, seed=101, cache=ctx.cache
+    )
+    heldout = build_targeted_pool(
+        ctx.model, ctx.dataset, "cw-l2", ctx.scale.table2_seeds, seed=202,
+        exclude=indices, cache=ctx.cache,
+    )
+    benign_logits = ctx.model.logits(heldout.seeds)
+    adv_images, _, _ = heldout.successful()
+    adv_logits = ctx.model.logits(adv_images)
+
+    def run():
+        rows = {}
+        for name, transform in _FEATURES.items():
+            network = build_detector_network()
+            fit(
+                network,
+                Adam(network.parameters(), lr=1e-2),
+                transform(features),
+                labels,
+                TrainConfig(epochs=300, batch_size=64),
+                np.random.default_rng(3),
+            )
+            flagged_benign = network.predict(transform(benign_logits)) == ADVERSARIAL
+            missed_adv = network.predict(transform(adv_logits)) == BENIGN
+            rows[name] = {
+                "false_negative": float(flagged_benign.mean()),
+                "false_positive": float(missed_adv.mean()),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'features':>15} {'FN (benign flagged)':>21} {'FP (adv missed)':>17}"]
+    for name, row in rows.items():
+        lines.append(f"{name:>15} {row['false_negative']:>20.2%} {row['false_positive']:>16.2%}")
+    report("Ablation — detector feature representation", "\n".join(lines))
+
+    # Every representation detects the bulk of adversarials...
+    for name, row in rows.items():
+        assert row["false_positive"] < 0.35, name
+    # ...and sorting is at least as good as raw logits on both error rates.
+    assert rows["sorted-logits"]["false_positive"] <= rows["raw-logits"]["false_positive"] + 0.02
+    assert rows["sorted-logits"]["false_negative"] <= rows["raw-logits"]["false_negative"] + 0.02

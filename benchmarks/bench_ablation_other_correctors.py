@@ -1,0 +1,57 @@
+"""Ablation — alternative correctors (paper Sec. 6, "Other correctors").
+
+The paper identifies the corrector as DCN's accuracy bottleneck and asks
+for better ones.  This bench compares the default hard-majority hypercube
+vote against soft voting, Gaussian sampling, and an iterative re-centring
+variant, on both CW-L2 (easy) and CW-L0 (the hard case the paper calls
+out) adversarial pools.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import report
+from repro.core import Corrector, GaussianCorrector, IterativeCorrector, SoftVoteCorrector
+
+
+def test_ablation_other_correctors(benchmark, mnist_ctx):
+    ctx = mnist_ctx
+    pools = {"cw-l2": ctx.pool("cw-l2"), "cw-l0": ctx.pool("cw-l0")}
+    correctors = {
+        "majority (paper)": Corrector(ctx.model, ctx.radius, samples=50, seed=3),
+        "soft-vote": SoftVoteCorrector(ctx.model, ctx.radius, samples=50, seed=3),
+        "gaussian": GaussianCorrector(ctx.model, ctx.radius, samples=50, seed=3),
+        "iterative": IterativeCorrector(ctx.model, ctx.radius, samples=50, rounds=3, seed=3),
+    }
+
+    def run():
+        rows = {}
+        for name, corrector in correctors.items():
+            row = {}
+            for pool_name, pool in pools.items():
+                adv, labels, _ = pool.successful()
+                start = time.perf_counter()
+                recovered = corrector.correct(adv)
+                row[pool_name] = float((recovered == labels).mean())
+                row[f"{pool_name}_seconds"] = time.perf_counter() - start
+            rows[name] = row
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'corrector':>18} {'CW-L2 recov':>12} {'CW-L0 recov':>12} {'L2 time':>9}"]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:>18} {row['cw-l2']:>11.1%} {row['cw-l0']:>11.1%} {row['cw-l2_seconds']:>8.2f}s"
+        )
+    report("Ablation — alternative correctors (MNIST substitute)", "\n".join(lines))
+
+    baseline = rows["majority (paper)"]
+    # Every corrector recovers most L2 adversarials.
+    for name, row in rows.items():
+        assert row["cw-l2"] > 0.7, name
+    # L0 is harder than L2 for the paper's corrector — its stated weakness.
+    assert baseline["cw-l0"] <= baseline["cw-l2"] + 0.05
+    # The iterative variant addresses exactly that case: it must not be
+    # worse than the baseline on L0.
+    assert rows["iterative"]["cw-l0"] >= baseline["cw-l0"] - 0.05

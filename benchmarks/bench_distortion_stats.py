@@ -1,0 +1,36 @@
+"""Distortion statistics of the CW pools (CW-paper-style table).
+
+Verifies the premise the DCN paper inherits from Carlini & Wagner: each
+attack variant minimises its own metric — CW-L0 touches the fewest pixels,
+CW-L2 has the smallest Euclidean distortion, CW-L∞ the smallest maximum
+change — and that the L0 examples are the "spotty", further-out ones that
+the corrector struggles with (Sec. 5.3's explanation).
+"""
+
+from conftest import report
+from repro.eval.distortions import format_distortion_table, pool_distortion_summary
+
+
+def test_distortion_stats(benchmark, mnist_ctx):
+    ctx = mnist_ctx
+
+    def run():
+        return {
+            attack: pool_distortion_summary(ctx.pool(attack))
+            for attack in ("cw-l0", "cw-l2", "cw-linf")
+        }
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "CW distortion statistics (MNIST substitute)",
+        format_distortion_table(summaries, ctx.dataset.name),
+    )
+
+    # Each attack wins under its own metric.
+    assert summaries["cw-l0"]["l0"]["mean"] <= summaries["cw-l2"]["l0"]["mean"]
+    assert summaries["cw-l0"]["l0"]["mean"] <= summaries["cw-linf"]["l0"]["mean"]
+    assert summaries["cw-l2"]["l2"]["mean"] <= summaries["cw-l0"]["l2"]["mean"]
+    assert summaries["cw-linf"]["linf"]["mean"] <= summaries["cw-l0"]["linf"]["mean"]
+    # Sec. 5.3's observation: the L0 attack changes few pixels but changes
+    # them a lot (larger max per-pixel change than the L∞ attack).
+    assert summaries["cw-l0"]["linf"]["mean"] > summaries["cw-linf"]["linf"]["mean"]

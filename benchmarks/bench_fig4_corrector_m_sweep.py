@@ -1,0 +1,31 @@
+"""Fig. 4 — corrector accuracy and running time for different m.
+
+Paper shape: recovery accuracy is essentially flat in m (even m=10-50 is
+enough for the majority vote to stabilise) while running time grows
+linearly — the observation that justifies the corrector's m=50 versus
+RC's m=1000.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.eval import fig4_corrector_sweep, format_fig4
+
+
+def test_fig4_corrector_m_sweep(benchmark, mnist_ctx):
+    rows = benchmark.pedantic(fig4_corrector_sweep, args=(mnist_ctx,), rounds=1, iterations=1)
+    report("Fig. 4 (MNIST substitute)", format_fig4(rows, mnist_ctx.dataset.name))
+
+    ms = np.array([row["m"] for row in rows], dtype=float)
+    accuracy = np.array([row["recovery_accuracy"] for row in rows])
+    seconds = np.array([row["seconds"] for row in rows])
+
+    # Accuracy flat in m: best and worst beyond m=25 within a few points.
+    beyond = accuracy[ms >= 25]
+    assert beyond.max() - beyond.min() < 0.10
+    # m=50 (the paper's choice) already recovers the bulk of examples.
+    at_50 = accuracy[ms == 50][0]
+    assert at_50 > 0.8
+    # Runtime ~linear in m: strong correlation and >5x spread across sweep.
+    assert np.corrcoef(ms, seconds)[0, 1] > 0.95
+    assert seconds[-1] > 5 * seconds[0]

@@ -1,0 +1,26 @@
+"""Table 2 — false negative / false positive rate of the detector.
+
+Paper numbers: MNIST FN 3.7% / FP 0.31%; CIFAR-10 FN 4.3% / FP 0.91%.
+The shape to reproduce: FP (adversarial examples slipping past the
+detector) is near zero and FN (benign examples needlessly flagged) is a
+few percent.
+"""
+
+from conftest import report
+from repro.eval import format_table2, table2_detector_rates
+
+
+def test_table2_detector_false_rates(benchmark, mnist_ctx, cifar_ctx):
+    rates = {}
+    for ctx in (mnist_ctx, cifar_ctx):
+        rates[ctx.dataset.name] = table2_detector_rates(ctx)
+    report("Table 2", format_table2(rates))
+
+    for dataset, row in rates.items():
+        assert row["false_positive"] < 0.10, f"{dataset}: detector misses too many adversarials"
+        assert row["false_negative"] < 0.15, f"{dataset}: detector flags too many benign inputs"
+
+    # Benchmark the detector's marginal cost: it is a ~400-parameter net, so
+    # scoring must be a negligible add-on to the protected model's forward.
+    logits = mnist_ctx.model.logits(mnist_ctx.dataset.x_test[:256])
+    benchmark(mnist_ctx.dcn.detector.is_adversarial, logits)

@@ -1,0 +1,35 @@
+"""Table 5 — success rate of the six CW attack variants on CIFAR-10.
+
+Paper shape (CIFAR): as on MNIST, the undefended/distilled models lose
+completely; RC and DCN recover most L2 attacks (residual ~5%); L0 and L∞
+are harder than on MNIST (paper: 34-36% / 18-32% residual success), since
+the usable hypercube radius is far smaller.
+
+Small-sample caveat: at the fast preset the untargeted columns have 12
+seeds, so one example is 8.3 points; the DCN-vs-RC tolerance below is set
+accordingly (the m=50-vs-1000 gap genuinely costs DCN a few contested
+votes on CIFAR, where region votes are much more marginal than on MNIST).
+"""
+
+from conftest import report
+from repro.eval import format_table45, table45_robustness
+
+
+def test_table5_cifar_attack_success(benchmark, cifar_ctx):
+    rows = benchmark.pedantic(table45_robustness, args=(cifar_ctx,), rounds=1, iterations=1)
+    report("Table 5 (CIFAR substitute)", format_table45(rows, cifar_ctx.dataset.name))
+
+    for attack in ("cw-l0", "cw-l2", "cw-linf"):
+        for mode in ("targeted", "untargeted"):
+            standard = rows["standard"][attack][mode]
+            dcn = rows["dcn"][attack][mode]
+            rc = rows["rc"][attack][mode]
+            assert standard > 0.85, (attack, mode, standard)
+            assert dcn < standard, (attack, mode)
+            # DCN roughly matches RC on CIFAR (paper: near-identical rows);
+            # tolerance covers the 12-seed noise plus the m=50 penalty.
+            assert dcn <= rc + 0.3, (attack, mode, dcn, rc)
+
+    # CIFAR correction is weaker than MNIST correction (paper's 2nd finding):
+    # the L2 residual is a few percent, not zero.
+    assert rows["dcn"]["cw-l2"]["targeted"] < 0.5

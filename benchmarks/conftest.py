@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+:mod:`repro.eval.harness` functions and prints the paper-formatted table.
+Heavy artifacts (models, adversarial pools) are cached in ``.artifacts``;
+the first run of the suite builds them, later runs load them.
+
+Scale: ``REPRO_SCALE=fast`` (default) or ``paper`` — see
+``repro.eval.harness.scale_config``.
+"""
+
+import pytest
+
+from repro.eval import build_context, scale_config
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_config()
+
+
+@pytest.fixture(scope="session")
+def mnist_ctx(scale):
+    return build_context(scale.mnist, scale)
+
+
+@pytest.fixture(scope="session")
+def cifar_ctx(scale):
+    return build_context(scale.cifar, scale)
+
+
+def report(title: str, text: str) -> None:
+    """Print a paper-style table under a banner (shown with pytest -s)."""
+    print(f"\n=== {title} ===\n{text}\n")

@@ -1,0 +1,60 @@
+"""Adaptive attacker: stress-testing DCN as Sec. 6 proposes.
+
+An attacker who knows DCN exists can (1) raise the CW confidence κ so the
+crafted logits look benign, or (2) differentiate through the detector
+itself.  This example runs both against a raw-feature detector and shows
+the price: detector bypass rises, but so does the visible distortion —
+and the corrector still catches part of what the detector misses.
+
+Run:  python examples/adaptive_attacker.py
+"""
+
+import numpy as np
+
+from repro.attacks import CarliniWagnerL2, DetectorAwareCWL2
+from repro.core import DCN, Corrector, select_radius, train_detector
+from repro.eval import attack_success_rate
+from repro.eval.adversarial_sets import select_correct_seeds
+from repro.zoo import model_for_dataset
+
+
+def main() -> None:
+    dataset, model = model_for_dataset("mnist-fast")
+    # The gradient-based adaptive attack needs the raw-feature detector.
+    detector = train_detector(model, dataset, sort_features=False)
+    radius = select_radius(model, dataset)  # calibrated on the detector's CW-L2 pool
+    dcn = DCN(model, detector, Corrector(model, radius=radius))
+
+    rng = np.random.default_rng(2)
+    x, y, _ = select_correct_seeds(model, dataset, 8, rng, exclude=detector.train_seed_indices)
+    targets = (y + 3) % 10
+
+    attacks = {
+        "CW-L2 (k=0)": CarliniWagnerL2(binary_search_steps=3, max_iterations=150),
+        "CW-L2 (k=10)": CarliniWagnerL2(confidence=10.0, binary_search_steps=3, max_iterations=150),
+        "detector-aware": DetectorAwareCWL2(detector, binary_search_steps=3, max_iterations=150),
+    }
+
+    header = f"{'attack':>15} {'crafted':>8} {'bypassed det':>13} {'beat DCN':>9} {'mean L2':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, attack in attacks.items():
+        result = attack.perturb(model, x, y, targets)
+        bypass = float("nan")
+        if result.success.any():
+            flagged = detector.flag_images(model, result.adversarial[result.success])
+            bypass = (~flagged).mean()
+        print(
+            f"{name:>15} {result.success_rate:>7.0%} {bypass:>12.0%}"
+            f" {attack_success_rate(dcn, result):>8.0%}"
+            f" {result.mean_distortion('l2'):>8.3f}"
+        )
+
+    print(
+        "\nReading: evading the detector is possible but costs extra L2"
+        "\ndistortion, exactly the trade-off the paper's Sec. 6 predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

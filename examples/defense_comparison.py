@@ -1,0 +1,47 @@
+"""Defense comparison: the paper's Sec. 5 evaluation in miniature.
+
+Builds every defense the paper compares (standard DNN, defensive
+distillation, region-based classification, DCN), runs the untargeted
+CW-L2 attack, and prints benign accuracy, attack success rate, and
+wall-clock per defense — a one-screen version of Tables 3-5.
+
+Run:  python examples/defense_comparison.py
+"""
+
+import numpy as np
+
+from repro.eval import (
+    attack_success_rate,
+    build_context,
+    scale_config,
+    time_defense,
+    untargeted_from_pool,
+)
+
+
+def main() -> None:
+    ctx = build_context(scale_config().mnist)
+    pool = ctx.pool("cw-l2")
+    untargeted = untargeted_from_pool(pool, metric="l2")
+
+    rng = np.random.default_rng(5)
+    benign_x, benign_y, _ = ctx.dataset.sample_test(100, rng)
+
+    header = f"{'defense':>14} {'benign acc':>11} {'attack success':>15} {'time/100 (s)':>13}"
+    print(header)
+    print("-" * len(header))
+    for name, defense in ctx.defenses().items():
+        labels, seconds = time_defense(defense, benign_x)
+        accuracy = (labels == benign_y).mean()
+        success = attack_success_rate(defense, untargeted)
+        print(f"{name:>14} {accuracy:>10.1%} {success:>14.1%} {seconds:>13.2f}")
+
+    print(
+        "\nReading: the standard and distilled models lose to CW completely;"
+        "\nRC recovers most labels but pays m=1000 predictions per input;"
+        "\nDCN matches RC's robustness at a fraction of the cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

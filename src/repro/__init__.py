@@ -1,0 +1,27 @@
+"""Reproduction of "DCN: Detector-Corrector Network Against Evasion Attacks
+on Deep Neural Networks" (Wen, Hui, Yiu, Zhang — DSN 2018).
+
+Public API tour
+---------------
+
+* :mod:`repro.nn` — NumPy autograd + CNN substrate (replaces Keras/TF).
+* :mod:`repro.datasets` — synthetic MNIST/CIFAR substitutes.
+* :mod:`repro.zoo` — trained standard classifiers with on-disk caching.
+* :mod:`repro.attacks` — FGSM, IGSM, JSMA, DeepFool, L-BFGS, CW-{L0,L2,L∞}.
+* :mod:`repro.defenses` — distillation, region-based classifier, squeezing.
+* :mod:`repro.core` — the paper's contribution: Detector, Corrector, DCN.
+* :mod:`repro.eval` — metrics, adversarial pools, paper-table harness.
+
+Quickstart::
+
+    from repro.zoo import model_for_dataset
+    from repro.core import DCN, train_detector
+    from repro.attacks import CarliniWagnerL2
+
+    dataset, model = model_for_dataset("mnist-fast")
+    detector = train_detector(model, dataset)
+    dcn = DCN(model, detector, radius=0.3, samples=50)
+    labels = dcn.classify(dataset.x_test[:16])
+"""
+
+__version__ = "1.0.0"

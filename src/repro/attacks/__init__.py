@@ -1,0 +1,38 @@
+"""Evasion attacks (paper Table 1 plus the CW suite used in Sec. 5)."""
+
+from .adaptive import DetectorAwareCWL2
+from .base import AttackResult, clip_to_box, distortion
+from .blackbox import SubstituteBlackBox
+from .cw import AdamState, CarliniWagnerL0, CarliniWagnerL2, CarliniWagnerLinf
+from .deepfool import DeepFool
+from .fgsm import FGSM
+from .igsm import IGSM
+from .jsma import JSMA
+from .lbfgs import LBFGSAttack
+from .noise import GaussianNoise, UniformNoise
+from .pgd import PGD
+from .factory import ATTACK_FACTORIES, make_attack
+from .untargeted import UntargetedFromTargeted
+
+__all__ = [
+    "AttackResult",
+    "distortion",
+    "clip_to_box",
+    "FGSM",
+    "IGSM",
+    "JSMA",
+    "DeepFool",
+    "LBFGSAttack",
+    "CarliniWagnerL2",
+    "CarliniWagnerL0",
+    "CarliniWagnerLinf",
+    "AdamState",
+    "UntargetedFromTargeted",
+    "DetectorAwareCWL2",
+    "PGD",
+    "SubstituteBlackBox",
+    "UniformNoise",
+    "GaussianNoise",
+    "make_attack",
+    "ATTACK_FACTORIES",
+]

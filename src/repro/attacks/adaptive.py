@@ -1,0 +1,145 @@
+"""Adaptive CW attacks against DCN (paper Sec. 6, "Adaptive CW attack").
+
+The paper sketches two adaptive strategies an attacker aware of DCN could
+try; both are implemented here so the defense can be stress-tested:
+
+1. **High-confidence attack** — raise the CW confidence κ so the crafted
+   example's logits look benign (large margin).  The cost is visibly more
+   noise, which the κ-sweep benchmark quantifies.
+2. **Detector-aware attack** — extend the CW-L2 objective with a second
+   margin term computed *through the detector*: the combined loss is
+   ``‖δ‖² + c·f(x') + c_d·g(x')`` where ``g`` is the hinge margin of the
+   detector's adversarial score over its benign score.  The gradient flows
+   through the composition detector(protected-model(x')).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..nn import ops
+from ..nn.network import Network
+from ..nn.tensor import Tensor
+from .base import AttackResult
+from .cw import AdamState, _margin_loss, _to_w
+
+if TYPE_CHECKING:  # pragma: no cover - import avoided at runtime (cycle)
+    from ..core.detector import LogitDetector
+
+__all__ = ["DetectorAwareCWL2"]
+
+# Detector output indices (mirrors repro.core.detector).
+BENIGN, ADVERSARIAL = 0, 1
+
+
+class DetectorAwareCWL2:
+    """CW-L2 with an additional bypass-the-detector loss term.
+
+    Success for this attack means: the protected model outputs the target
+    label **and** the detector classifies the logits as benign.
+
+    Parameters
+    ----------
+    detector_weight:
+        ``c_d`` — weight of the detector-bypass hinge.
+    detector_confidence:
+        Required margin of the detector's benign score (higher = safer
+        bypass, more distortion).
+    """
+
+    norm = "l2"
+
+    def __init__(
+        self,
+        detector: "LogitDetector",
+        confidence: float = 0.0,
+        detector_weight: float = 5.0,
+        detector_confidence: float = 0.0,
+        binary_search_steps: int = 4,
+        max_iterations: int = 200,
+        learning_rate: float = 0.1,
+        initial_c: float = 0.5,
+    ):
+        if detector.sort_features:
+            # Sorting is piecewise-linear so it *is* differentiable almost
+            # everywhere, but our autograd sort is not implemented; the
+            # adaptive attack therefore drives the raw-feature detector.
+            raise ValueError(
+                "DetectorAwareCWL2 requires a detector trained with sort_features=False; "
+                "train one via train_detector(..., sort_features=False)"
+            )
+        self.detector = detector
+        self.confidence = confidence
+        self.detector_weight = detector_weight
+        self.detector_confidence = detector_confidence
+        self.binary_search_steps = binary_search_steps
+        self.max_iterations = max_iterations
+        self.learning_rate = learning_rate
+        self.initial_c = initial_c
+
+    def perturb(
+        self,
+        network: Network,
+        x: np.ndarray,
+        source_labels: np.ndarray,
+        target_labels: np.ndarray,
+    ) -> AttackResult:
+        x = np.asarray(x, dtype=np.float64)
+        source_labels = np.asarray(source_labels)
+        target_labels = np.asarray(target_labels)
+        n = len(x)
+        onehot = np.zeros((n, network.num_classes))
+        onehot[np.arange(n), target_labels] = 1.0
+        axes = tuple(range(1, x.ndim))
+        # Detector's benign/adversarial selector rows.
+        benign_sel = np.zeros((n, 2))
+        benign_sel[:, BENIGN] = 1.0
+        adv_sel = np.zeros((n, 2))
+        adv_sel[:, ADVERSARIAL] = 1.0
+
+        c = np.full(n, self.initial_c)
+        c_low = np.zeros(n)
+        c_high = np.full(n, 1e10)
+        best_adv = x.copy()
+        best_l2 = np.full(n, np.inf)
+        found = np.zeros(n, dtype=bool)
+
+        for _ in range(self.binary_search_steps):
+            w = _to_w(x)
+            adam = AdamState(w.shape, self.learning_rate)
+            for _ in range(self.max_iterations):
+                w_tensor = Tensor(w, requires_grad=True)
+                candidate = ops.mul(ops.tanh(w_tensor), 0.5)
+                delta = candidate - Tensor(x)
+                l2_sq = ops.sum_(ops.mul(delta, delta), axis=axes)
+                logits = network.forward(candidate)
+                f = _margin_loss(logits, onehot, self.confidence)
+                det_scores = self.detector.network.forward(logits)
+                det_adv = ops.sum_(ops.mul(det_scores, adv_sel), axis=-1)
+                det_benign = ops.sum_(ops.mul(det_scores, benign_sel), axis=-1)
+                g = ops.maximum(
+                    det_adv - det_benign + self.detector_confidence, Tensor(np.zeros(n))
+                )
+                loss = ops.sum_(l2_sq + ops.mul(f, Tensor(c)) + ops.mul(g, self.detector_weight * c))
+                loss.backward()
+
+                # Track successes: target hit AND detector bypassed.
+                z = logits.data
+                hit = z.argmax(axis=-1) == target_labels
+                bypassed = ~self.detector.is_adversarial(z)
+                better = hit & bypassed & (l2_sq.data < best_l2)
+                best_adv[better] = candidate.data[better]
+                best_l2[better] = l2_sq.data[better]
+                found |= hit & bypassed
+
+                w = adam.update(w, w_tensor.grad)
+
+            succeeded_now = found & (best_l2 < np.inf)
+            c_high = np.where(succeeded_now, np.minimum(c_high, c), c_high)
+            c_low = np.where(succeeded_now, c_low, np.maximum(c_low, c))
+            unbounded = c_high >= 1e9
+            c = np.where(unbounded, c * 10.0, (c_low + c_high) / 2.0)
+
+        return AttackResult(x, best_adv, found.copy(), source_labels, target_labels)

@@ -1,0 +1,108 @@
+"""Shared attack interfaces and result containers.
+
+Every attack takes a trained :class:`~repro.nn.network.Network`, a batch of
+benign inputs in the paper's ``[-0.5, 0.5]`` box, and produces an
+:class:`AttackResult` recording the crafted inputs, per-example success, and
+distortions under the three distance metrics the paper uses (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..datasets.dataset import PIXEL_MAX, PIXEL_MIN
+from ..nn.network import Network
+
+__all__ = ["AttackResult", "TargetedAttack", "UntargetedAttack", "distortion", "clip_to_box"]
+
+
+def clip_to_box(x: np.ndarray) -> np.ndarray:
+    """Clip images into the valid pixel box ``[-0.5, 0.5]``."""
+    return np.clip(x, PIXEL_MIN, PIXEL_MAX)
+
+
+def distortion(original: np.ndarray, adversarial: np.ndarray, metric: str) -> np.ndarray:
+    """Per-example distance between image batches under ``metric``.
+
+    Metrics follow the paper's Sec. 2.2:
+
+    * ``"l0"`` — number of changed pixels (a pixel is a spatial location;
+      for colour images a location counts once even if all channels change),
+    * ``"l2"`` — Euclidean distance,
+    * ``"linf"`` — maximum absolute change.
+    """
+    if len(original) == 0:
+        return np.zeros(0)
+    delta = (adversarial - original).reshape(len(original), *original.shape[1:])
+    if metric == "l0":
+        changed = np.abs(delta) > 1e-7
+        # Collapse channels: CW's L0 counts pixel positions.
+        per_position = changed.any(axis=1) if delta.ndim == 4 else changed
+        return per_position.reshape(len(delta), -1).sum(axis=1).astype(float)
+    flat = delta.reshape(len(delta), -1)
+    if metric == "l2":
+        return np.sqrt((flat**2).sum(axis=1))
+    if metric == "linf":
+        return np.abs(flat).max(axis=1)
+    raise ValueError(f"unknown metric {metric!r}; expected l0, l2 or linf")
+
+
+@dataclass
+class AttackResult:
+    """Outcome of running an attack on a batch.
+
+    Attributes
+    ----------
+    original:
+        The benign inputs the attack started from.
+    adversarial:
+        Crafted inputs.  Where the attack failed, this holds the attack's
+        best (unsuccessful) attempt; use :attr:`success` to filter.
+    success:
+        Boolean mask — True where the crafted input satisfies the attack
+        goal (predicted == target for targeted, != source for untargeted).
+    source_labels:
+        True labels of the originals.
+    target_labels:
+        Requested labels for targeted attacks; ``None`` for untargeted.
+    """
+
+    original: np.ndarray
+    adversarial: np.ndarray
+    success: np.ndarray
+    source_labels: np.ndarray
+    target_labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = len(self.original)
+        if not (len(self.adversarial) == len(self.success) == len(self.source_labels) == n):
+            raise ValueError("AttackResult fields have inconsistent lengths")
+
+    @property
+    def success_rate(self) -> float:
+        return float(np.mean(self.success)) if len(self.success) else 0.0
+
+    def distortions(self, metric: str) -> np.ndarray:
+        """Distortion of the *successful* examples under ``metric``."""
+        return distortion(self.original[self.success], self.adversarial[self.success], metric)
+
+    def mean_distortion(self, metric: str) -> float:
+        values = self.distortions(metric)
+        return float(values.mean()) if len(values) else float("nan")
+
+
+class TargetedAttack(Protocol):
+    """Protocol for targeted attacks (Eq. 1 of the paper)."""
+
+    def perturb(
+        self, network: Network, x: np.ndarray, source_labels: np.ndarray, target_labels: np.ndarray
+    ) -> AttackResult: ...
+
+
+class UntargetedAttack(Protocol):
+    """Protocol for untargeted attacks."""
+
+    def perturb(self, network: Network, x: np.ndarray, source_labels: np.ndarray) -> AttackResult: ...

@@ -1,0 +1,119 @@
+"""Practical black-box attack via substitute models (Papernot et al., 2017).
+
+Extension beyond the paper's white-box threat model: the attacker only
+queries the victim for labels, trains a local *substitute* network on the
+query results (augmenting the seed set with Jacobian-based perturbations),
+crafts white-box adversarial examples against the substitute, and relies
+on transferability to fool the victim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Adam, Dense, Flatten, Network, ReLU, TrainConfig, fit
+from ..nn.network import Network as _Net
+from .base import AttackResult, clip_to_box
+from .fgsm import FGSM
+from .gradients import logit_gradient
+
+__all__ = ["SubstituteBlackBox"]
+
+
+def _default_substitute(input_shape: tuple[int, int, int], num_classes: int, seed: int) -> Network:
+    rng = np.random.default_rng(seed)
+    features = int(np.prod(input_shape))
+    layers = [Flatten(), Dense(features, 128, rng), ReLU(), Dense(128, 64, rng), ReLU(), Dense(64, num_classes, rng)]
+    return Network(layers, input_shape)
+
+
+class SubstituteBlackBox:
+    """Label-only black-box attack through a locally trained substitute.
+
+    Parameters
+    ----------
+    seed_inputs:
+        Initial query set (unlabeled images the attacker owns).
+    augmentation_rounds / lambda_step:
+        Jacobian-based dataset augmentation: each round adds, per known
+        point, a new point stepped by ``lambda_step`` along the sign of
+        the substitute's gradient for the victim's label.
+    inner_attack:
+        White-box attack run against the substitute (FGSM by default, as
+        in the original).
+    """
+
+    norm = "linf"
+
+    def __init__(
+        self,
+        seed_inputs: np.ndarray,
+        augmentation_rounds: int = 2,
+        lambda_step: float = 0.1,
+        epochs: int = 25,
+        inner_attack=None,
+        seed: int = 0,
+    ):
+        if augmentation_rounds < 0:
+            raise ValueError("augmentation_rounds must be >= 0")
+        self.seed_inputs = np.asarray(seed_inputs, dtype=np.float64)
+        self.augmentation_rounds = augmentation_rounds
+        self.lambda_step = lambda_step
+        self.epochs = epochs
+        self.inner_attack = inner_attack or FGSM(epsilon=0.25)
+        self.seed = seed
+        self.queries_used = 0
+        self.substitute: Network | None = None
+
+    # -- substitute training -------------------------------------------------
+
+    def fit_substitute(self, victim: _Net) -> Network:
+        """Train the substitute with Jacobian-based data augmentation.
+
+        Only ``victim.predict`` (label queries) is used — never its
+        gradients or logits.
+        """
+        data = self.seed_inputs.copy()
+        labels = self._query(victim, data)
+        substitute = _default_substitute(victim.input_shape, victim.num_classes, self.seed + 13)
+        for round_index in range(self.augmentation_rounds + 1):
+            rng = np.random.default_rng(self.seed + round_index)
+            optimizer = Adam(substitute.parameters(), lr=2e-3)
+            fit(
+                substitute, optimizer, data, labels,
+                TrainConfig(epochs=self.epochs, batch_size=64), rng,
+            )
+            if round_index == self.augmentation_rounds:
+                break
+            # Jacobian augmentation: step along the substitute's gradient of
+            # the victim-assigned class, then query the victim for labels.
+            gradient = logit_gradient(substitute, data, labels)
+            new_points = clip_to_box(data + self.lambda_step * np.sign(gradient))
+            new_labels = self._query(victim, new_points)
+            data = np.concatenate([data, new_points])
+            labels = np.concatenate([labels, new_labels])
+        self.substitute = substitute
+        return substitute
+
+    def _query(self, victim: _Net, x: np.ndarray) -> np.ndarray:
+        self.queries_used += len(x)
+        return victim.predict(x)
+
+    def agreement(self, victim: _Net, x: np.ndarray) -> float:
+        """Label agreement between substitute and victim on ``x``."""
+        if self.substitute is None:
+            raise RuntimeError("call fit_substitute first")
+        return float((self.substitute.predict(x) == victim.predict(x)).mean())
+
+    # -- the attack itself ---------------------------------------------------
+
+    def perturb(self, victim: _Net, x: np.ndarray, source_labels: np.ndarray) -> AttackResult:
+        """Craft on the substitute, evaluate transfer against the victim."""
+        if self.substitute is None:
+            self.fit_substitute(victim)
+        x = np.asarray(x, dtype=np.float64)
+        source_labels = np.asarray(source_labels)
+        local = self.inner_attack.perturb(self.substitute, x, source_labels)
+        predictions = victim.predict(local.adversarial)
+        success = predictions != source_labels
+        return AttackResult(x, local.adversarial, success, source_labels, None)

@@ -1,0 +1,70 @@
+"""DeepFool (Moosavi-Dezfooli et al., CVPR 2016).
+
+Untargeted L2 attack that repeatedly linearises the classifier around the
+current iterate and takes the minimal step crossing the nearest linearised
+decision boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.network import Network
+from .base import AttackResult, clip_to_box
+from .gradients import jacobian
+
+__all__ = ["DeepFool"]
+
+
+class DeepFool:
+    """Untargeted minimal-L2 attack by iterative linearisation.
+
+    Parameters
+    ----------
+    max_steps:
+        Iteration budget per example.
+    overshoot:
+        Multiplicative overshoot pushing the iterate just past the boundary.
+    """
+
+    norm = "l2"
+
+    def __init__(self, max_steps: int = 30, overshoot: float = 0.02):
+        self.max_steps = max_steps
+        self.overshoot = overshoot
+
+    def perturb(self, network: Network, x: np.ndarray, source_labels: np.ndarray) -> AttackResult:
+        x = np.asarray(x, dtype=np.float64)
+        source_labels = np.asarray(source_labels)
+        n = len(x)
+        current = x.copy()
+        active = network.predict(current) == source_labels
+
+        for _ in range(self.max_steps):
+            if not active.any():
+                break
+            idx = np.flatnonzero(active)
+            batch = current[idx]
+            logits = network.logits(batch)
+            grads = jacobian(network, batch)  # (b, classes, *shape)
+            b = len(idx)
+            flat_grads = grads.reshape(b, grads.shape[1], -1)
+            origin = source_labels[idx]
+
+            step = np.zeros_like(batch).reshape(b, -1)
+            for row in range(b):
+                o = origin[row]
+                w = flat_grads[row] - flat_grads[row, o]
+                f = logits[row] - logits[row, o]
+                norms = np.linalg.norm(w, axis=1)
+                ratios = np.abs(f) / (norms + 1e-12)
+                ratios[o] = np.inf
+                best = int(np.argmin(ratios))
+                step[row] = (np.abs(f[best]) + 1e-6) / (norms[best] ** 2 + 1e-12) * w[best]
+
+            current[idx] = clip_to_box(batch + (1.0 + self.overshoot) * step.reshape(batch.shape))
+            active[idx] = network.predict(current[idx]) == origin
+
+        predictions = network.predict(current)
+        success = predictions != source_labels
+        return AttackResult(x, current, success, source_labels, None)

@@ -1,0 +1,44 @@
+"""Named attack configurations used across the evaluation harness.
+
+Centralising these keeps pool caching coherent: a pool's cache key embeds
+the factory name plus overrides, so any parameter change regenerates it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .cw import CarliniWagnerL0, CarliniWagnerL2, CarliniWagnerLinf
+from .deepfool import DeepFool
+from .fgsm import FGSM
+from .igsm import IGSM
+from .jsma import JSMA
+from .lbfgs import LBFGSAttack
+from .pgd import PGD
+
+__all__ = ["make_attack", "ATTACK_FACTORIES", "TARGETED_ATTACKS", "UNTARGETED_ATTACKS"]
+
+# Defaults tuned for the CPU substrate: enough budget for ~100% success on
+# the standard models while keeping the 9-targets-per-seed sweeps feasible.
+ATTACK_FACTORIES: dict[str, Callable[..., Any]] = {
+    "cw-l2": lambda **kw: CarliniWagnerL2(**{"binary_search_steps": 4, "max_iterations": 150, **kw}),
+    "cw-l0": lambda **kw: CarliniWagnerL0(**kw),
+    "cw-linf": lambda **kw: CarliniWagnerLinf(**kw),
+    "fgsm": lambda **kw: FGSM(**kw),
+    "igsm": lambda **kw: IGSM(**kw),
+    "jsma": lambda **kw: JSMA(**kw),
+    "deepfool": lambda **kw: DeepFool(**kw),
+    "lbfgs": lambda **kw: LBFGSAttack(**kw),
+    "pgd": lambda **kw: PGD(**kw),
+}
+
+# Which named attacks accept target labels.
+TARGETED_ATTACKS = ("cw-l2", "cw-l0", "cw-linf", "fgsm", "igsm", "jsma", "lbfgs", "pgd")
+UNTARGETED_ATTACKS = ("deepfool",)
+
+
+def make_attack(name: str, **overrides):
+    """Instantiate a named attack with optional parameter overrides."""
+    if name not in ATTACK_FACTORIES:
+        raise KeyError(f"unknown attack {name!r}; available: {sorted(ATTACK_FACTORIES)}")
+    return ATTACK_FACTORIES[name](**overrides)

@@ -1,0 +1,56 @@
+"""Fast Gradient Sign Method (Goodfellow et al., 2015).
+
+Single-step L∞ attack: move every pixel by ``epsilon`` in the direction
+that increases the loss (untargeted) or decreases the loss toward a chosen
+target label (targeted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.network import Network
+from .base import AttackResult, clip_to_box
+from .gradients import cross_entropy_gradient
+
+__all__ = ["FGSM"]
+
+
+class FGSM:
+    """One-step sign-gradient attack under the L∞ metric.
+
+    Parameters
+    ----------
+    epsilon:
+        Step size in pixel units (the data box spans 1.0).
+    """
+
+    norm = "linf"
+
+    def __init__(self, epsilon: float = 0.2):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+
+    def perturb(
+        self,
+        network: Network,
+        x: np.ndarray,
+        source_labels: np.ndarray,
+        target_labels: np.ndarray | None = None,
+    ) -> AttackResult:
+        """Craft adversarial examples; targeted when ``target_labels`` given."""
+        x = np.asarray(x, dtype=np.float64)
+        source_labels = np.asarray(source_labels)
+        if target_labels is not None:
+            target_labels = np.asarray(target_labels)
+            gradient = cross_entropy_gradient(network, x, target_labels)
+            adversarial = clip_to_box(x - self.epsilon * np.sign(gradient))
+            predictions = network.predict(adversarial)
+            success = predictions == target_labels
+        else:
+            gradient = cross_entropy_gradient(network, x, source_labels)
+            adversarial = clip_to_box(x + self.epsilon * np.sign(gradient))
+            predictions = network.predict(adversarial)
+            success = predictions != source_labels
+        return AttackResult(x, adversarial, success, source_labels, target_labels)

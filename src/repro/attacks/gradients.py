@@ -1,0 +1,52 @@
+"""Input-gradient helpers shared by the gradient-based attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import losses, ops
+from ..nn.network import Network
+from ..nn.tensor import Tensor
+
+__all__ = ["cross_entropy_gradient", "logit_gradient", "jacobian"]
+
+
+def cross_entropy_gradient(network: Network, x: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """``∂ CE(H(x), labels) / ∂x`` summed over the batch (per-example rows)."""
+    labels = np.asarray(labels)
+    inp = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    logits = network.forward(inp)
+    # Sum (not mean) so each example's gradient is independent of batch size.
+    targets = losses.one_hot(labels, logits.shape[-1])
+    log_probs = ops.log_softmax(logits)
+    loss = ops.mul(ops.sum_(ops.mul(log_probs, targets)), -1.0)
+    loss.backward()
+    assert inp.grad is not None
+    return inp.grad
+
+
+def logit_gradient(network: Network, x: np.ndarray, class_index: np.ndarray) -> np.ndarray:
+    """``∂ H(x)_{class_index} / ∂x`` for a per-example class index."""
+    class_index = np.asarray(class_index)
+    inp = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    logits = network.forward(inp)
+    selector = np.zeros(logits.shape)
+    selector[np.arange(len(class_index)), class_index] = 1.0
+    ops.sum_(ops.mul(logits, selector)).backward()
+    assert inp.grad is not None
+    return inp.grad
+
+
+def jacobian(network: Network, x: np.ndarray) -> np.ndarray:
+    """Full Jacobian ``∂H(x)_c / ∂x`` of the logits for a batch.
+
+    Returns shape ``(N, num_classes, *input_shape)``.  Computed with one
+    backward pass per class (the standard trick when outputs ≪ inputs);
+    used by JSMA and DeepFool.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    num_classes = network.num_classes
+    rows = np.empty((len(x), num_classes) + x.shape[1:])
+    for c in range(num_classes):
+        rows[:, c] = logit_gradient(network, x, np.full(len(x), c))
+    return rows

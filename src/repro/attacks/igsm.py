@@ -1,0 +1,78 @@
+"""Iterative Gradient Sign Method / Basic Iterative Method (Kurakin et al.).
+
+FGSM applied in small steps with per-step clipping to both the epsilon ball
+around the original image and the valid pixel box.  Examples that already
+satisfy the attack goal are frozen, so the attack returns the first
+adversarial point found along each trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.network import Network
+from .base import AttackResult, clip_to_box
+from .gradients import cross_entropy_gradient
+
+__all__ = ["IGSM"]
+
+
+class IGSM:
+    """Iterative FGSM under the L∞ metric.
+
+    Parameters
+    ----------
+    epsilon:
+        Radius of the L∞ ball the iterates stay inside.
+    alpha:
+        Per-iteration step size.
+    steps:
+        Maximum number of iterations.
+    """
+
+    norm = "linf"
+
+    def __init__(self, epsilon: float = 0.15, alpha: float = 0.015, steps: int = 20):
+        if min(epsilon, alpha) <= 0 or steps < 1:
+            raise ValueError("epsilon/alpha must be positive and steps >= 1")
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.steps = steps
+
+    def perturb(
+        self,
+        network: Network,
+        x: np.ndarray,
+        source_labels: np.ndarray,
+        target_labels: np.ndarray | None = None,
+    ) -> AttackResult:
+        x = np.asarray(x, dtype=np.float64)
+        source_labels = np.asarray(source_labels)
+        targeted = target_labels is not None
+        if targeted:
+            target_labels = np.asarray(target_labels)
+
+        current = x.copy()
+        done = np.zeros(len(x), dtype=bool)
+        for _ in range(self.steps):
+            active = ~done
+            if not active.any():
+                break
+            batch = current[active]
+            if targeted:
+                gradient = cross_entropy_gradient(network, batch, target_labels[active])
+                stepped = batch - self.alpha * np.sign(gradient)
+            else:
+                gradient = cross_entropy_gradient(network, batch, source_labels[active])
+                stepped = batch + self.alpha * np.sign(gradient)
+            stepped = np.clip(stepped, x[active] - self.epsilon, x[active] + self.epsilon)
+            current[active] = clip_to_box(stepped)
+            predictions = network.predict(current[active])
+            if targeted:
+                done[active] |= predictions == target_labels[active]
+            else:
+                done[active] |= predictions != source_labels[active]
+
+        predictions = network.predict(current)
+        success = predictions == target_labels if targeted else predictions != source_labels
+        return AttackResult(x, current, success, source_labels, target_labels if targeted else None)

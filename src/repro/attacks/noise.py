@@ -1,0 +1,60 @@
+"""Random-noise baselines — the control every attack table needs.
+
+Adversarial perturbations are *directed*: random noise of the same
+magnitude almost never changes a good model's prediction (this is exactly
+the asymmetry region-based classification exploits — a hypercube around a
+benign point stays in-class, while one around an adversarial point leaks
+back).  These "attacks" quantify that control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.network import Network
+from .base import AttackResult, clip_to_box
+
+__all__ = ["UniformNoise", "GaussianNoise"]
+
+
+class UniformNoise:
+    """Uniform noise in an L∞ ball of radius epsilon (untargeted)."""
+
+    norm = "linf"
+
+    def __init__(self, epsilon: float = 0.15, seed: int = 0):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+        self._rng = np.random.default_rng(seed)
+
+    def perturb(self, network: Network, x: np.ndarray, source_labels: np.ndarray) -> AttackResult:
+        x = np.asarray(x, dtype=np.float64)
+        source_labels = np.asarray(source_labels)
+        noise = self._rng.uniform(-self.epsilon, self.epsilon, size=x.shape)
+        perturbed = clip_to_box(x + noise)
+        success = network.predict(perturbed) != source_labels
+        return AttackResult(x, perturbed, success, source_labels, None)
+
+
+class GaussianNoise:
+    """Gaussian noise scaled to a target L2 norm (untargeted)."""
+
+    norm = "l2"
+
+    def __init__(self, l2_norm: float = 1.0, seed: int = 0):
+        if l2_norm <= 0:
+            raise ValueError("l2_norm must be positive")
+        self.l2_norm = l2_norm
+        self._rng = np.random.default_rng(seed)
+
+    def perturb(self, network: Network, x: np.ndarray, source_labels: np.ndarray) -> AttackResult:
+        x = np.asarray(x, dtype=np.float64)
+        source_labels = np.asarray(source_labels)
+        noise = self._rng.normal(size=x.shape)
+        flat = noise.reshape(len(x), -1)
+        norms = np.linalg.norm(flat, axis=1, keepdims=True)
+        flat *= self.l2_norm / np.maximum(norms, 1e-12)
+        perturbed = clip_to_box(x + flat.reshape(x.shape))
+        success = network.predict(perturbed) != source_labels
+        return AttackResult(x, perturbed, success, source_labels, None)

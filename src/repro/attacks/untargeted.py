@@ -1,0 +1,68 @@
+"""Targeted-to-untargeted transformation (paper Sec. 2.2 / 5.1).
+
+Carlini & Wagner's strategy, adopted by the paper: run the targeted attack
+toward every other class and keep, per example, the successful adversarial
+example with the smallest distortion.  The replication over targets is
+folded into a single batched call so the underlying attack's vectorisation
+is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.network import Network
+from .base import AttackResult, TargetedAttack, distortion
+
+__all__ = ["UntargetedFromTargeted"]
+
+
+class UntargetedFromTargeted:
+    """Wrap a targeted attack into the paper's untargeted strategy.
+
+    Parameters
+    ----------
+    attack:
+        Any targeted attack exposing ``perturb(network, x, sources, targets)``.
+    metric:
+        Distance metric used to pick the closest success; defaults to the
+        attack's native norm.
+    """
+
+    def __init__(self, attack: TargetedAttack, metric: str | None = None):
+        self.attack = attack
+        self.metric = metric or getattr(attack, "norm", "l2")
+
+    @property
+    def norm(self) -> str:
+        return self.metric
+
+    def perturb(self, network: Network, x: np.ndarray, source_labels: np.ndarray) -> AttackResult:
+        x = np.asarray(x, dtype=np.float64)
+        source_labels = np.asarray(source_labels)
+        n = len(x)
+        num_classes = network.num_classes
+        targets_per_example = num_classes - 1
+
+        # Tile each example across all non-source target classes.
+        tiled_x = np.repeat(x, targets_per_example, axis=0)
+        tiled_sources = np.repeat(source_labels, targets_per_example)
+        all_targets = np.concatenate(
+            [[c for c in range(num_classes) if c != label] for label in source_labels]
+        )
+
+        result = self.attack.perturb(network, tiled_x, tiled_sources, all_targets)
+
+        adversarial = x.copy()
+        success = np.zeros(n, dtype=bool)
+        distances = distortion(tiled_x, result.adversarial, self.metric)
+        for i in range(n):
+            block = slice(i * targets_per_example, (i + 1) * targets_per_example)
+            ok = result.success[block]
+            if not ok.any():
+                continue
+            block_dist = np.where(ok, distances[block], np.inf)
+            best = int(np.argmin(block_dist))
+            adversarial[i] = result.adversarial[block][best]
+            success[i] = True
+        return AttackResult(x, adversarial, success, source_labels, None)

@@ -1,0 +1,54 @@
+"""On-disk memoisation for expensive artifacts (datasets, trained models).
+
+Training even the reduced CNNs takes minutes on the single-core substrate,
+so datasets, model weights and adversarial-example pools are cached under
+``$REPRO_CACHE`` (default ``<repo>/.artifacts``) keyed by a SHA-256 of their
+construction parameters.  Deleting the directory forces regeneration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["cache_dir", "cache_key", "memoize_arrays"]
+
+
+def cache_dir() -> Path:
+    """Return the artifact cache directory, creating it if needed."""
+    root = os.environ.get("REPRO_CACHE")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[2] / ".artifacts"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cache_key(spec: dict) -> str:
+    """Stable hash of a JSON-serialisable parameter dict."""
+    canonical = json.dumps(spec, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:20]
+
+
+def memoize_arrays(spec: dict, build: Callable[[], dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    """Return ``build()``'s dict of arrays, cached on disk under ``spec``.
+
+    The spec's ``kind`` entry (plus hash) names the file, which keeps the
+    cache directory human-navigable.
+    """
+    kind = spec.get("kind", "artifact")
+    path = cache_dir() / f"{kind}-{cache_key(spec)}.npz"
+    if path.exists():
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+    arrays = build()
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, **arrays)
+    os.replace(tmp, path)
+    return arrays

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+* ``info`` — list available datasets, models, attacks and scales.
+* ``train`` — train (or load) the standard model for a dataset.
+* ``attack`` — run a named attack against a dataset's model.
+* ``evaluate`` — the paper's defense comparison on one dataset.
+* ``table`` — regenerate a paper table (2, 3, 4, 5 or 6).
+* ``figure`` — regenerate a paper figure (1 or 4).
+
+All heavy artifacts go through the ``.artifacts`` cache, so repeated
+invocations are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'DCN: Detector-Corrector Network' (DSN 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets, models, attacks, scales")
+
+    train = sub.add_parser("train", help="train/load the standard model")
+    train.add_argument("--dataset", default="mnist-fast")
+
+    attack = sub.add_parser("attack", help="run an attack against a model")
+    attack.add_argument("--dataset", default="mnist-fast")
+    attack.add_argument("--attack", default="cw-l2", dest="attack_name")
+    attack.add_argument("--seeds", type=int, default=5)
+    attack.add_argument("--untargeted", action="store_true")
+    attack.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser("evaluate", help="defense comparison (Tables 3-5 in miniature)")
+    evaluate.add_argument("--dataset", default=None, help="defaults to the scale's MNIST substitute")
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("which", type=int, choices=(2, 3, 4, 5, 6))
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("which", type=int, choices=(1, 4))
+
+    rep = sub.add_parser("report", help="run all experiments, emit a markdown report")
+    rep.add_argument("--output", default=None, help="write to a file instead of stdout")
+    rep.add_argument("--light", action="store_true", help="only Table 2 and Fig. 4")
+
+    return parser
+
+
+def _cmd_info() -> int:
+    from .attacks.factory import ATTACK_FACTORIES
+    from .datasets import DATASET_CONFIGS
+    from .eval.harness import _SCALES
+    from .zoo import MODEL_CONFIGS
+
+    print("datasets: ", ", ".join(sorted(DATASET_CONFIGS)))
+    print("models:   ", ", ".join(sorted(MODEL_CONFIGS)))
+    print("attacks:  ", ", ".join(sorted(ATTACK_FACTORIES)))
+    print("defenses:  standard, distillation, rc, dcn (+ magnet, adv-training, feature-squeezing)")
+    print("scales:   ", ", ".join(sorted(_SCALES)), " (select with REPRO_SCALE)")
+    return 0
+
+
+def _cmd_train(dataset_name: str) -> int:
+    from .zoo import model_for_dataset
+
+    dataset, model = model_for_dataset(dataset_name)
+    accuracy = model.accuracy(dataset.x_test, dataset.y_test)
+    print(f"{dataset_name}: test accuracy {accuracy:.2%} ({model.num_parameters()} parameters)")
+    return 0
+
+
+def _cmd_attack(dataset_name: str, attack_name: str, seeds: int, untargeted: bool, seed: int) -> int:
+    from .attacks import UntargetedFromTargeted
+    from .attacks.factory import TARGETED_ATTACKS, make_attack
+    from .eval.adversarial_sets import select_correct_seeds
+    from .zoo import model_for_dataset
+
+    dataset, model = model_for_dataset(dataset_name)
+    rng = np.random.default_rng(seed)
+    x, y, _ = select_correct_seeds(model, dataset, seeds, rng)
+    attack = make_attack(attack_name)
+    if attack_name in TARGETED_ATTACKS:
+        if untargeted:
+            result = UntargetedFromTargeted(attack).perturb(model, x, y)
+        else:
+            targets = (y + 1 + rng.integers(0, 9, len(y))) % 10
+            targets = np.where(targets == y, (targets + 1) % 10, targets)
+            result = attack.perturb(model, x, y, targets)
+    else:
+        result = attack.perturb(model, x, y)
+    mode = "untargeted" if result.target_labels is None else "targeted"
+    print(f"{attack_name} ({mode}) on {dataset_name}: success {result.success_rate:.0%}")
+    for metric in ("l0", "l2", "linf"):
+        print(f"  mean {metric:<4} distortion: {result.mean_distortion(metric):.4f}")
+    return 0
+
+
+def _cmd_evaluate(dataset_name: str | None) -> int:
+    from .eval import (
+        attack_success_rate,
+        build_context,
+        scale_config,
+        time_defense,
+        untargeted_from_pool,
+    )
+
+    scale = scale_config()
+    ctx = build_context(dataset_name or scale.mnist, scale)
+    pool = ctx.pool("cw-l2")
+    untargeted = untargeted_from_pool(pool, metric="l2")
+    rng = np.random.default_rng(5)
+    benign_x, benign_y, _ = ctx.dataset.sample_test(100, rng)
+    print(f"{'defense':>14} {'benign acc':>11} {'CW-L2 success':>14} {'time/100 (s)':>13}")
+    for name, defense in ctx.defenses().items():
+        labels, seconds = time_defense(defense, benign_x)
+        accuracy = (labels == benign_y).mean()
+        success = attack_success_rate(defense, untargeted)
+        print(f"{name:>14} {accuracy:>10.1%} {success:>13.1%} {seconds:>13.2f}")
+    return 0
+
+
+def _cmd_table(which: int) -> int:
+    from .eval import (
+        build_context,
+        format_table2,
+        format_table3,
+        format_table45,
+        format_table6,
+        scale_config,
+        table2_detector_rates,
+        table3_benign_performance,
+        table45_robustness,
+        table6_runtime_vs_fraction,
+    )
+
+    scale = scale_config()
+    if which == 2:
+        rates = {
+            name: table2_detector_rates(build_context(name, scale))
+            for name in (scale.mnist, scale.cifar)
+        }
+        print(format_table2(rates))
+    elif which == 3:
+        rows = {
+            name: table3_benign_performance(build_context(name, scale))
+            for name in (scale.mnist, scale.cifar)
+        }
+        print(format_table3(rows))
+    elif which in (4, 5):
+        name = scale.mnist if which == 4 else scale.cifar
+        ctx = build_context(name, scale)
+        print(format_table45(table45_robustness(ctx), name))
+    elif which == 6:
+        ctx = build_context(scale.mnist, scale)
+        print(format_table6(table6_runtime_vs_fraction(ctx), scale.mnist))
+    return 0
+
+
+def _cmd_figure(which: int) -> int:
+    from .core import fig1_rows, format_fig1
+    from .eval import build_context, fig4_corrector_sweep, format_fig4, scale_config
+
+    scale = scale_config()
+    ctx = build_context(scale.mnist, scale)
+    if which == 1:
+        pool = ctx.pool("cw-l2")
+        per_seed = pool.targets_per_seed
+        index = next(
+            i for i in range(pool.num_seeds)
+            if pool.success[i * per_seed : (i + 1) * per_seed].all()
+        )
+        block = slice(index * per_seed, (index + 1) * per_seed)
+        rows = fig1_rows(
+            ctx.model, pool.seeds[index], int(pool.seed_labels[index]), pool.adversarial[block]
+        )
+        print(format_fig1(rows))
+    elif which == 4:
+        print(format_fig4(fig4_corrector_sweep(ctx), scale.mnist))
+    return 0
+
+
+def _cmd_report(output: str | None, light: bool) -> int:
+    from .eval.reportgen import generate_report
+
+    report = generate_report(include_heavy=not light)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {output}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "train":
+        return _cmd_train(args.dataset)
+    if args.command == "attack":
+        return _cmd_attack(args.dataset, args.attack_name, args.seeds, args.untargeted, args.seed)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args.dataset)
+    if args.command == "table":
+        return _cmd_table(args.which)
+    if args.command == "figure":
+        return _cmd_figure(args.which)
+    if args.command == "report":
+        return _cmd_report(args.output, args.light)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

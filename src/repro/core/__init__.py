@@ -1,0 +1,47 @@
+"""The paper's contribution: logit detector, corrector, and DCN pipeline."""
+
+from .characterize import (
+    Fig1Row,
+    fig1_rows,
+    format_fig1,
+    logit_statistics,
+    separation_summary,
+)
+from .baselines import MarginThresholdDetector
+from .corrector import Corrector
+from .correctors_ext import GaussianCorrector, IterativeCorrector, SoftVoteCorrector
+from .dcn import DCN
+from .persistence import load_dcn, save_dcn
+from .radius import DEFAULT_RADIUS_GRID, select_radius
+from .detector import (
+    ADVERSARIAL,
+    BENIGN,
+    LogitDetector,
+    build_detector_network,
+    detector_training_data,
+    train_detector,
+)
+
+__all__ = [
+    "LogitDetector",
+    "build_detector_network",
+    "train_detector",
+    "detector_training_data",
+    "BENIGN",
+    "ADVERSARIAL",
+    "Corrector",
+    "DCN",
+    "logit_statistics",
+    "separation_summary",
+    "Fig1Row",
+    "fig1_rows",
+    "format_fig1",
+    "MarginThresholdDetector",
+    "SoftVoteCorrector",
+    "GaussianCorrector",
+    "IterativeCorrector",
+    "select_radius",
+    "DEFAULT_RADIUS_GRID",
+    "save_dcn",
+    "load_dcn",
+]

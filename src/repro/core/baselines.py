@@ -1,0 +1,53 @@
+"""Baseline detectors the learned detector must beat (or match).
+
+The paper's detector is a learned binary classifier over logits.  Its
+simplest competitor is a hand-set threshold on the logit margin (Sec. 3's
+own statistic): flag an input as adversarial when the winner's lead over
+the runner-up is below a threshold calibrated on benign data.  Included so
+the ablation benches can show what the learned detector adds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.network import Network
+
+__all__ = ["MarginThresholdDetector"]
+
+
+class MarginThresholdDetector:
+    """Flags inputs whose logit margin (top1 − top2) falls below a threshold."""
+
+    def __init__(self, threshold: float = 0.0, sort_features: bool = True):
+        # sort_features kept for interface parity with LogitDetector; the
+        # margin statistic is permutation-invariant anyway.
+        self.threshold = threshold
+        self.sort_features = sort_features
+        self.train_seed_indices = np.array([], dtype=int)
+
+    @staticmethod
+    def _margin(logits: np.ndarray) -> np.ndarray:
+        ordered = np.sort(np.asarray(logits, dtype=np.float64), axis=-1)
+        return ordered[:, -1] - ordered[:, -2]
+
+    def calibrate(self, benign_logits: np.ndarray, false_negative_rate: float = 0.05) -> float:
+        """Pick the threshold flagging at most this fraction of benign inputs."""
+        margins = self._margin(benign_logits)
+        self.threshold = float(np.quantile(margins, false_negative_rate))
+        return self.threshold
+
+    def is_adversarial(self, logits: np.ndarray) -> np.ndarray:
+        return self._margin(logits) < self.threshold
+
+    def flag_images(self, model: Network, x: np.ndarray) -> np.ndarray:
+        return self.is_adversarial(model.logits(x))
+
+    def error_rates(self, benign_logits: np.ndarray, adversarial_logits: np.ndarray) -> dict[str, float]:
+        """Same contract (and paper naming) as LogitDetector.error_rates."""
+        flagged_benign = self.is_adversarial(benign_logits)
+        flagged_adv = self.is_adversarial(adversarial_logits)
+        return {
+            "false_negative": float(flagged_benign.mean()) if len(flagged_benign) else 0.0,
+            "false_positive": float((~flagged_adv).mean()) if len(flagged_adv) else 0.0,
+        }

@@ -1,0 +1,63 @@
+"""Save/load a trained DCN (detector weights + corrector configuration).
+
+The protected model is serialised separately (it has its own lifecycle —
+:meth:`repro.nn.network.Network.save`); a DCN bundle stores everything
+*added* by the defense, so a deployment can attach it to the model it
+already ships.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.network import Network
+from .corrector import Corrector
+from .dcn import DCN
+from .detector import LogitDetector, build_detector_network
+
+__all__ = ["save_dcn", "load_dcn"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dcn(dcn: DCN, path: str | Path) -> None:
+    """Write the DCN's detector weights and corrector settings to ``path``."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "sort_features": np.array(int(dcn.detector.sort_features)),
+        "train_seed_indices": dcn.detector.train_seed_indices,
+        "radius": np.array(dcn.corrector.radius),
+        "samples": np.array(dcn.corrector.samples),
+    }
+    for key, value in dcn.detector.network.state().items():
+        payload[f"detector.{key}"] = value
+    np.savez_compressed(path, **payload)
+
+
+def load_dcn(network: Network, path: str | Path) -> DCN:
+    """Reconstruct a DCN around ``network`` from a saved bundle.
+
+    The detector's hidden width is recovered from the stored weight shapes,
+    so no architecture metadata needs to travel separately.
+    """
+    with np.load(path) as archive:
+        data = {key: archive[key] for key in archive.files}
+    version = int(data.pop("format_version"))
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported DCN bundle version {version}")
+
+    detector_state = {
+        key[len("detector.") :]: value for key, value in data.items() if key.startswith("detector.")
+    }
+    num_classes, hidden = detector_state["layer0.weight"].shape
+    detector_network = build_detector_network(num_classes=num_classes, hidden=hidden)
+    detector_network.load_state(detector_state)
+    detector = LogitDetector(
+        detector_network,
+        train_seed_indices=data["train_seed_indices"],
+        sort_features=bool(int(data["sort_features"])),
+    )
+    corrector = Corrector(network, radius=float(data["radius"]), samples=int(data["samples"]))
+    return DCN(network, detector, corrector)

@@ -1,0 +1,21 @@
+"""Synthetic dataset substrates (MNIST/CIFAR substitutes)."""
+
+from .dataset import PIXEL_MAX, PIXEL_MIN, Dataset
+from .digits import generate_digits, render_digit
+from .objects import CLASS_NAMES, generate_objects, render_object
+from .registry import DATASET_CONFIGS, DatasetConfig, corrector_radius, load_dataset
+
+__all__ = [
+    "Dataset",
+    "PIXEL_MIN",
+    "PIXEL_MAX",
+    "generate_digits",
+    "render_digit",
+    "generate_objects",
+    "render_object",
+    "CLASS_NAMES",
+    "DatasetConfig",
+    "DATASET_CONFIGS",
+    "load_dataset",
+    "corrector_radius",
+]

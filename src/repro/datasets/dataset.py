@@ -1,0 +1,69 @@
+"""Dataset container used throughout the reproduction.
+
+Images are stored in NCHW layout with values normalised to ``[-0.5, 0.5]``,
+matching the normalisation the paper (and the original CW attack code) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Dataset", "PIXEL_MIN", "PIXEL_MAX"]
+
+# The paper normalises pixels into [-0.5, 0.5]; every attack and defense
+# clips to this box.
+PIXEL_MIN = -0.5
+PIXEL_MAX = 0.5
+
+
+@dataclass
+class Dataset:
+    """A train/test split of normalised images with integer labels."""
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    def __post_init__(self) -> None:
+        for split, (x, y) in (("train", (self.x_train, self.y_train)), ("test", (self.x_test, self.y_test))):
+            if len(x) != len(y):
+                raise ValueError(f"{split}: {len(x)} images but {len(y)} labels")
+            if x.ndim != 4:
+                raise ValueError(f"{split}: expected NCHW images, got shape {x.shape}")
+            if x.size and (x.min() < PIXEL_MIN - 1e-9 or x.max() > PIXEL_MAX + 1e-9):
+                raise ValueError(f"{split}: pixel values outside [{PIXEL_MIN}, {PIXEL_MAX}]")
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        return self.x_train.shape[1:]
+
+    @property
+    def num_classes(self) -> int:
+        return int(max(self.y_train.max(), self.y_test.max())) + 1
+
+    def sample_test(
+        self, count: int, rng: np.random.Generator, exclude: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``count`` test examples without replacement.
+
+        Parameters
+        ----------
+        exclude:
+            Optional array of test indices to avoid (e.g. detector training
+            examples must not reappear in its test pool, Sec. 5.2).
+
+        Returns
+        -------
+        (images, labels, indices)
+        """
+        available = np.arange(len(self.x_test))
+        if exclude is not None:
+            available = np.setdiff1d(available, np.asarray(exclude))
+        if count > len(available):
+            raise ValueError(f"requested {count} examples but only {len(available)} available")
+        indices = rng.choice(available, size=count, replace=False)
+        return self.x_test[indices], self.y_test[indices], indices

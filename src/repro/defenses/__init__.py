@@ -1,0 +1,26 @@
+"""Comparison defenses: standard DNN, distillation, RC, feature squeezing."""
+
+from .adversarial_training import AdversariallyTrainedClassifier, train_adversarial
+from .base import Defense
+from .distillation import DistilledClassifier, train_distilled
+from .magnet import MagNet, build_autoencoder, train_autoencoder
+from .region import RegionClassifier, region_vote
+from .squeezing import FeatureSqueezingDetector, median_smooth, reduce_bit_depth
+from .standard import StandardClassifier
+
+__all__ = [
+    "Defense",
+    "StandardClassifier",
+    "DistilledClassifier",
+    "train_distilled",
+    "RegionClassifier",
+    "region_vote",
+    "FeatureSqueezingDetector",
+    "reduce_bit_depth",
+    "median_smooth",
+    "MagNet",
+    "build_autoencoder",
+    "train_autoencoder",
+    "AdversariallyTrainedClassifier",
+    "train_adversarial",
+]

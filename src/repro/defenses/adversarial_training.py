@@ -1,0 +1,91 @@
+"""Adversarial training (Goodfellow et al., 2015).
+
+The other classic robustness defense the paper cites in its introduction:
+augment each training batch with FGSM adversarial examples crafted against
+the current model.  Included as an additional comparison row for the
+extension benches (the paper itself compares only distillation and RC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache import memoize_arrays
+from ..datasets import Dataset
+from ..nn import Adam, TrainConfig
+from ..nn.losses import cross_entropy
+from ..nn.network import Network
+from ..nn.tensor import Tensor
+from ..zoo import MODEL_CONFIGS, ModelConfig, build_network
+
+__all__ = ["AdversariallyTrainedClassifier", "train_adversarial"]
+
+
+class AdversariallyTrainedClassifier:
+    """Classifier hardened with FGSM data augmentation."""
+
+    name = "adv-training"
+
+    def __init__(self, network: Network, epsilon: float):
+        self.network = network
+        self.epsilon = epsilon
+
+    def classify(self, x: np.ndarray) -> np.ndarray:
+        return self.network.predict(x)
+
+
+def _fgsm_batch(network: Network, x: np.ndarray, y: np.ndarray, epsilon: float) -> np.ndarray:
+    """Untargeted FGSM against the current weights (training-time crafting)."""
+    inp = Tensor(x, requires_grad=True)
+    loss = cross_entropy(network.forward(inp), y)
+    loss.backward()
+    return np.clip(x + epsilon * np.sign(inp.grad), -0.5, 0.5)
+
+
+def train_adversarial(
+    dataset: Dataset,
+    model: str | ModelConfig,
+    epsilon: float = 0.1,
+    adversarial_weight: float = 0.5,
+    cache: bool = True,
+) -> AdversariallyTrainedClassifier:
+    """Adversarially train the named architecture on ``dataset``.
+
+    Each step optimises ``(1-w)*CE(clean) + w*CE(fgsm(clean))`` with the
+    adversarial examples regenerated against the evolving model.
+    """
+    config = MODEL_CONFIGS[model] if isinstance(model, str) else model
+    network = build_network(config, dataset.input_shape, 10, seed=config.seed + 200)
+
+    def build() -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(config.seed + 201)
+        optimizer = Adam(network.parameters(), lr=config.learning_rate)
+        train_config = TrainConfig(epochs=config.epochs, batch_size=config.batch_size)
+        x, y = dataset.x_train, dataset.y_train
+        indices = np.arange(len(x))
+        for _ in range(train_config.epochs):
+            rng.shuffle(indices)
+            for begin in range(0, len(x), train_config.batch_size):
+                batch_idx = indices[begin : begin + train_config.batch_size]
+                xb, yb = x[batch_idx], y[batch_idx]
+                adversarial = _fgsm_batch(network, xb, yb, epsilon)
+                optimizer.zero_grad()
+                clean_loss = cross_entropy(network.forward(Tensor(xb), training=True), yb)
+                adv_loss = cross_entropy(network.forward(Tensor(adversarial), training=True), yb)
+                total = clean_loss * (1.0 - adversarial_weight) + adv_loss * adversarial_weight
+                total.backward()
+                optimizer.step()
+        return network.state()
+
+    if cache:
+        key = {
+            "kind": "advtrain",
+            "dataset": dataset.name,
+            "epsilon": epsilon,
+            "weight": adversarial_weight,
+            **config.__dict__,
+        }
+        network.load_state(memoize_arrays(key, build))
+    else:
+        build()
+    return AdversariallyTrainedClassifier(network, epsilon)

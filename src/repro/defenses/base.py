@@ -1,0 +1,19 @@
+"""Defense interface: anything that maps images to labels."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["Defense"]
+
+
+class Defense(Protocol):
+    """A classifier-with-defense; the evaluation harness only needs this."""
+
+    name: str
+
+    def classify(self, x: np.ndarray) -> np.ndarray:
+        """Return hard labels for a batch of images."""
+        ...

@@ -1,0 +1,21 @@
+"""The undefended baseline: a plain DNN classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.network import Network
+
+__all__ = ["StandardClassifier"]
+
+
+class StandardClassifier:
+    """Wraps a trained network as the paper's "Standard DNN" baseline."""
+
+    name = "standard"
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def classify(self, x: np.ndarray) -> np.ndarray:
+        return self.network.predict(x)

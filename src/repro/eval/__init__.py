@@ -1,0 +1,53 @@
+"""Evaluation harness: pools, metrics, timing, paper-table reproduction."""
+
+from .adversarial_sets import (
+    TargetedPool,
+    build_targeted_pool,
+    select_correct_seeds,
+    untargeted_from_pool,
+)
+from .harness import (
+    CW_ATTACKS,
+    ExperimentContext,
+    ScaleConfig,
+    build_context,
+    fig4_corrector_sweep,
+    scale_config,
+    table2_detector_rates,
+    table3_benign_performance,
+    table45_robustness,
+    table6_runtime_vs_fraction,
+)
+from .metrics import attack_success_rate, benign_accuracy, recovery_rate
+from .reportgen import PAPER_NUMBERS, generate_report
+from .tables import format_fig4, format_table2, format_table3, format_table45, format_table6
+from .timing import stopwatch, time_defense
+
+__all__ = [
+    "TargetedPool",
+    "build_targeted_pool",
+    "untargeted_from_pool",
+    "select_correct_seeds",
+    "ScaleConfig",
+    "scale_config",
+    "ExperimentContext",
+    "build_context",
+    "CW_ATTACKS",
+    "table2_detector_rates",
+    "table3_benign_performance",
+    "table45_robustness",
+    "table6_runtime_vs_fraction",
+    "fig4_corrector_sweep",
+    "attack_success_rate",
+    "benign_accuracy",
+    "recovery_rate",
+    "stopwatch",
+    "time_defense",
+    "generate_report",
+    "PAPER_NUMBERS",
+    "format_table2",
+    "format_table3",
+    "format_table45",
+    "format_table6",
+    "format_fig4",
+]

@@ -1,0 +1,151 @@
+"""Adversarial-example pools: the paper's evaluation workloads.
+
+Sec. 5 builds its datasets the same way everywhere: sample benign test
+examples the standard DNN classifies correctly, craft **9 targeted**
+adversarial examples per seed (one per wrong class), and derive untargeted
+examples by keeping the minimum-distortion success per seed.  This module
+builds those pools once and caches them on disk — CW pool generation is by
+far the most expensive step of the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..attacks.base import AttackResult, distortion
+from ..attacks.factory import make_attack
+from ..cache import memoize_arrays
+from ..datasets import Dataset
+from ..nn.network import Network
+
+__all__ = ["TargetedPool", "build_targeted_pool", "untargeted_from_pool", "select_correct_seeds"]
+
+
+@dataclass
+class TargetedPool:
+    """All 9-target adversarial examples for a set of benign seeds.
+
+    Arrays are aligned: entry ``i*9 + j`` is seed ``i`` attacked toward its
+    ``j``-th wrong class.
+    """
+
+    attack_name: str
+    seeds: np.ndarray  # (n, *shape) benign images
+    seed_labels: np.ndarray  # (n,)
+    seed_indices: np.ndarray  # (n,) indices into dataset.x_test
+    targets: np.ndarray  # (n*9,)
+    adversarial: np.ndarray  # (n*9, *shape)
+    success: np.ndarray  # (n*9,) bool
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def tiled_seeds(self) -> np.ndarray:
+        return np.repeat(self.seeds, self.targets_per_seed, axis=0)
+
+    @property
+    def tiled_labels(self) -> np.ndarray:
+        return np.repeat(self.seed_labels, self.targets_per_seed)
+
+    @property
+    def targets_per_seed(self) -> int:
+        return len(self.targets) // max(1, len(self.seeds))
+
+    def successful(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(adversarial, true_labels, targets) of the successful entries."""
+        ok = self.success
+        return self.adversarial[ok], self.tiled_labels[ok], self.targets[ok]
+
+
+def select_correct_seeds(
+    network: Network,
+    dataset: Dataset,
+    count: int,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample ``count`` test examples the network classifies correctly."""
+    available = np.arange(len(dataset.x_test))
+    if exclude is not None:
+        available = np.setdiff1d(available, np.asarray(exclude))
+    predictions = network.predict(dataset.x_test[available])
+    correct = available[predictions == dataset.y_test[available]]
+    if count > len(correct):
+        raise ValueError(f"only {len(correct)} correctly-classified examples available, need {count}")
+    chosen = rng.choice(correct, size=count, replace=False)
+    return dataset.x_test[chosen], dataset.y_test[chosen], chosen
+
+
+def _all_wrong_classes(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    return np.concatenate([[c for c in range(num_classes) if c != label] for label in labels])
+
+
+def build_targeted_pool(
+    network: Network,
+    dataset: Dataset,
+    attack_name: str,
+    num_seeds: int,
+    seed: int,
+    attack_overrides: dict | None = None,
+    exclude: np.ndarray | None = None,
+    cache: bool = True,
+    model_tag: str = "standard",
+) -> TargetedPool:
+    """Craft (or load from cache) the 9-targets-per-seed pool for an attack."""
+    overrides = attack_overrides or {}
+
+    def build() -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        seeds, labels, indices = select_correct_seeds(network, dataset, num_seeds, rng, exclude)
+        num_classes = network.num_classes
+        targets = _all_wrong_classes(labels, num_classes)
+        tiled = np.repeat(seeds, num_classes - 1, axis=0)
+        tiled_labels = np.repeat(labels, num_classes - 1)
+        attack = make_attack(attack_name, **overrides)
+        result: AttackResult = attack.perturb(network, tiled, tiled_labels, targets)
+        return {
+            "seeds": seeds,
+            "seed_labels": labels,
+            "seed_indices": indices,
+            "targets": targets,
+            "adversarial": result.adversarial,
+            "success": result.success,
+        }
+
+    if cache:
+        key = {
+            "kind": f"pool-{attack_name}",
+            "dataset": dataset.name,
+            "model": model_tag,
+            "num_seeds": num_seeds,
+            "seed": seed,
+            "exclude": None if exclude is None else int(np.asarray(exclude).sum()),
+            **{f"attack_{k}": v for k, v in sorted(overrides.items())},
+        }
+        arrays = memoize_arrays(key, build)
+    else:
+        arrays = build()
+    return TargetedPool(attack_name=attack_name, **arrays)
+
+
+def untargeted_from_pool(pool: TargetedPool, metric: str) -> AttackResult:
+    """The paper's untargeted strategy: min-distortion success per seed."""
+    per_seed = pool.targets_per_seed
+    n = pool.num_seeds
+    adversarial = pool.seeds.copy()
+    success = np.zeros(n, dtype=bool)
+    distances = distortion(pool.tiled_seeds, pool.adversarial, metric)
+    for i in range(n):
+        block = slice(i * per_seed, (i + 1) * per_seed)
+        ok = pool.success[block]
+        if not ok.any():
+            continue
+        block_dist = np.where(ok, distances[block], np.inf)
+        best = int(np.argmin(block_dist))
+        adversarial[i] = pool.adversarial[block][best]
+        success[i] = True
+    return AttackResult(pool.seeds, adversarial, success, pool.seed_labels, None)

@@ -1,0 +1,56 @@
+"""Distortion statistics across attacks (CW-paper-style summary).
+
+The DCN paper leans on Carlini & Wagner's observation that each CW variant
+minimises its own metric; this module computes the full per-attack,
+per-metric distortion summary from cached pools so the benches (and
+EXPERIMENTS.md) can show the attacks behave as specified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks.base import distortion
+from .adversarial_sets import TargetedPool
+
+__all__ = ["pool_distortion_summary", "format_distortion_table"]
+
+METRICS = ("l0", "l2", "linf")
+
+
+def pool_distortion_summary(pool: TargetedPool) -> dict[str, dict[str, float]]:
+    """Mean/median/max distortion of a pool's successful examples.
+
+    Returns ``summary[metric] = {"mean": .., "median": .., "max": ..,
+    "count": ..}``.
+    """
+    adv, _, _ = pool.successful()
+    originals = pool.tiled_seeds[pool.success]
+    summary: dict[str, dict[str, float]] = {}
+    for metric in METRICS:
+        values = distortion(originals, adv, metric)
+        if len(values) == 0:
+            summary[metric] = {"mean": float("nan"), "median": float("nan"), "max": float("nan"), "count": 0}
+            continue
+        summary[metric] = {
+            "mean": float(values.mean()),
+            "median": float(np.median(values)),
+            "max": float(values.max()),
+            "count": int(len(values)),
+        }
+    return summary
+
+
+def format_distortion_table(summaries: dict[str, dict[str, dict[str, float]]], dataset: str) -> str:
+    """Render per-attack distortion summaries as a text table."""
+    lines = [
+        f"DISTORTION OF SUCCESSFUL ADVERSARIAL EXAMPLES ({dataset})",
+        f"{'attack':>10} {'metric':>7} {'mean':>9} {'median':>9} {'max':>9}",
+    ]
+    for attack, summary in summaries.items():
+        for metric in METRICS:
+            row = summary[metric]
+            lines.append(
+                f"{attack:>10} {metric:>7} {row['mean']:>9.3f} {row['median']:>9.3f} {row['max']:>9.3f}"
+            )
+    return "\n".join(lines)

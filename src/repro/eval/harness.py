@@ -1,0 +1,320 @@
+"""Experiment driver: builds every defense once and reproduces each table.
+
+The benchmark scripts under ``benchmarks/`` are thin wrappers over the
+functions here, so tests can exercise the same code paths at reduced scale.
+
+Scale presets
+-------------
+``scale_config()`` reads ``REPRO_SCALE`` (``fast`` default, or ``paper``):
+the fast preset uses the 16×16 datasets and pool sizes tuned for the
+single-core CPU substrate; the paper preset uses 28×28/32×32 data and pool
+sizes closer to the paper's 100-seed evaluation.  EXPERIMENTS.md records
+which preset produced the reported numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..attacks.base import AttackResult
+from ..core import DCN, Corrector, select_radius, train_detector
+from ..datasets import Dataset, load_dataset
+from ..defenses import DistilledClassifier, RegionClassifier, StandardClassifier, train_distilled
+from ..nn.network import Network
+from ..zoo import load_model, _DATASET_MODEL
+from .adversarial_sets import TargetedPool, build_targeted_pool, untargeted_from_pool
+from .metrics import attack_success_rate
+from .timing import time_defense
+
+__all__ = [
+    "ScaleConfig",
+    "scale_config",
+    "ExperimentContext",
+    "build_context",
+    "table2_detector_rates",
+    "table3_benign_performance",
+    "table45_robustness",
+    "table6_runtime_vs_fraction",
+    "fig4_corrector_sweep",
+]
+
+CW_ATTACKS = ("cw-l0", "cw-l2", "cw-linf")
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Workload sizes for one reproduction scale."""
+
+    name: str
+    mnist: str
+    cifar: str
+    detector_seeds: int  # benign seeds behind the detector training pool
+    table2_seeds: int  # held-out benign seeds for Table 2
+    robustness_seeds: int  # benign seeds for Tables 4/5 (paper: 100)
+    benign_mnist: int  # Table 3 benign counts (paper: 1000 / 500)
+    benign_cifar: int
+    rc_samples: int = 1000  # paper's m for RC
+    corrector_samples: int = 50  # paper's m for the corrector
+
+
+_SCALES = {
+    "fast": ScaleConfig(
+        name="fast",
+        mnist="mnist-fast",
+        cifar="cifar-fast",
+        detector_seeds=60,
+        table2_seeds=40,
+        robustness_seeds=12,
+        benign_mnist=300,
+        benign_cifar=200,
+    ),
+    "paper": ScaleConfig(
+        name="paper",
+        mnist="mnist-like",
+        cifar="cifar-like",
+        detector_seeds=150,
+        table2_seeds=100,
+        robustness_seeds=30,
+        benign_mnist=1000,
+        benign_cifar=500,
+    ),
+}
+
+
+def scale_config(name: str | None = None) -> ScaleConfig:
+    """Resolve a scale preset (argument > ``$REPRO_SCALE`` > ``fast``)."""
+    chosen = name or os.environ.get("REPRO_SCALE", "fast")
+    if chosen not in _SCALES:
+        raise KeyError(f"unknown scale {chosen!r}; available: {sorted(_SCALES)}")
+    return _SCALES[chosen]
+
+
+@dataclass
+class ExperimentContext:
+    """Everything one dataset's experiments need, built lazily and cached."""
+
+    dataset: Dataset
+    scale: ScaleConfig
+    model: Network
+    cache: bool = True
+
+    @cached_property
+    def radius(self) -> float:
+        """Corrector/RC radius, calibrated on the detector's CW-L2 pool.
+
+        The paper's constants (0.3 / 0.02) were tuned by Cao & Gong for the
+        real MNIST/CIFAR; the calibration re-derives the analogous value
+        for this substrate (see repro.core.radius).
+        """
+        return select_radius(
+            self.model, self.dataset, num_seeds=self.scale.detector_seeds, cache=self.cache
+        )
+
+    @cached_property
+    def standard(self) -> StandardClassifier:
+        return StandardClassifier(self.model)
+
+    @cached_property
+    def distilled(self) -> DistilledClassifier:
+        model_name = _DATASET_MODEL.get(self.dataset.name, "cnn-fast")
+        return train_distilled(self.dataset, model_name, cache=self.cache)
+
+    @cached_property
+    def rc(self) -> RegionClassifier:
+        return RegionClassifier(self.model, radius=self.radius, samples=self.scale.rc_samples)
+
+    @cached_property
+    def dcn(self) -> DCN:
+        detector = train_detector(
+            self.model, self.dataset, num_seeds=self.scale.detector_seeds, cache=self.cache
+        )
+        corrector = Corrector(self.model, radius=self.radius, samples=self.scale.corrector_samples)
+        return DCN(self.model, detector, corrector)
+
+    def defenses(self) -> dict[str, object]:
+        """The paper's four comparison points, in Table 4/5 row order."""
+        return {
+            "standard": self.standard,
+            "distillation": self.distilled,
+            "rc": self.rc,
+            "dcn": self.dcn,
+        }
+
+    # -- pools ---------------------------------------------------------------
+
+    def pool(
+        self, attack_name: str, network: Network | None = None, model_tag: str = "standard", seed: int = 202
+    ) -> TargetedPool:
+        """Targeted pool for Table 4/5, excluding the detector's seeds."""
+        return build_targeted_pool(
+            network or self.model,
+            self.dataset,
+            attack_name,
+            num_seeds=self.scale.robustness_seeds,
+            seed=seed,
+            exclude=self.dcn.detector.train_seed_indices,
+            cache=self.cache,
+            model_tag=model_tag,
+        )
+
+
+def build_context(dataset_name: str, scale: ScaleConfig | None = None, cache: bool = True) -> ExperimentContext:
+    """Load dataset + standard model and wrap them in a context."""
+    resolved = scale or scale_config()
+    dataset = load_dataset(dataset_name, cache=cache)
+    model = load_model(dataset, cache=cache)
+    return ExperimentContext(dataset=dataset, scale=resolved, model=model, cache=cache)
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — detector false rates
+# ---------------------------------------------------------------------------
+
+
+def table2_detector_rates(ctx: ExperimentContext, seed: int = 202) -> dict[str, float]:
+    """Held-out false-negative/false-positive rates of the detector.
+
+    Uses a fresh pool of benign seeds (disjoint from detector training) and
+    their CW-L2 adversarial examples, exactly as Sec. 5.2 describes.
+    """
+    detector = ctx.dcn.detector
+    pool = build_targeted_pool(
+        ctx.model,
+        ctx.dataset,
+        "cw-l2",
+        num_seeds=ctx.scale.table2_seeds,
+        seed=seed,
+        exclude=detector.train_seed_indices,
+        cache=ctx.cache,
+    )
+    benign_logits = ctx.model.logits(pool.seeds)
+    adv_images, _, _ = pool.successful()
+    adv_logits = ctx.model.logits(adv_images)
+    return detector.error_rates(benign_logits, adv_logits)
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — benign accuracy and total runtime
+# ---------------------------------------------------------------------------
+
+
+def table3_benign_performance(ctx: ExperimentContext, count: int | None = None, seed: int = 303) -> dict[str, dict[str, float]]:
+    """Accuracy and wall-clock of each defense on a benign sample."""
+    if count is None:
+        count = ctx.scale.benign_mnist if "mnist" in ctx.dataset.name else ctx.scale.benign_cifar
+    rng = np.random.default_rng(seed)
+    x, y, _ = ctx.dataset.sample_test(count, rng)
+    rows: dict[str, dict[str, float]] = {}
+    for name, defense in ctx.defenses().items():
+        labels, seconds = time_defense(defense, x)
+        rows[name] = {"accuracy": float((labels == y).mean()), "seconds": seconds}
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Tables 4/5 — attack success rates
+# ---------------------------------------------------------------------------
+
+
+def table45_robustness(
+    ctx: ExperimentContext, attacks: tuple[str, ...] = CW_ATTACKS, seed: int = 202
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Success rate of each attack × defense, targeted and untargeted.
+
+    Pools are crafted white-box against the classifier under attack: the
+    standard model's pools serve standard/RC/DCN (whose protected model is
+    the standard DNN), while distillation gets its own pools.
+
+    Returns ``rows[defense][attack] = {"targeted": .., "untargeted": ..}``.
+    """
+    rows: dict[str, dict[str, dict[str, float]]] = {}
+    for defense_name, defense in ctx.defenses().items():
+        rows[defense_name] = {}
+        for attack_name in attacks:
+            if defense_name == "distillation":
+                pool = ctx.pool(attack_name, network=defense.network, model_tag="distilled", seed=seed)
+            else:
+                pool = ctx.pool(attack_name, seed=seed)
+            targeted_result = AttackResult(
+                pool.tiled_seeds, pool.adversarial, pool.success, pool.tiled_labels, pool.targets
+            )
+            metric = {"cw-l0": "l0", "cw-l2": "l2", "cw-linf": "linf"}.get(attack_name, "l2")
+            untargeted_result = untargeted_from_pool(pool, metric)
+            rows[defense_name][attack_name] = {
+                "targeted": attack_success_rate(defense, targeted_result),
+                "untargeted": attack_success_rate(defense, untargeted_result),
+            }
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 6 / Fig. 5 — runtime vs adversarial fraction
+# ---------------------------------------------------------------------------
+
+
+def table6_runtime_vs_fraction(
+    ctx: ExperimentContext,
+    fractions: tuple[float, ...] = (0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0),
+    total: int = 100,
+    seed: int = 404,
+) -> list[dict[str, float]]:
+    """DCN vs RC wall-clock on mixes with varying adversarial fraction."""
+    pool = ctx.pool("cw-l2")
+    adv_images, adv_labels, _ = pool.successful()
+    rng = np.random.default_rng(seed)
+    rows = []
+    for fraction in fractions:
+        adv_count = int(round(total * fraction))
+        benign_count = total - adv_count
+        x_benign, y_benign, _ = ctx.dataset.sample_test(benign_count, rng)
+        pick = rng.integers(0, len(adv_images), size=adv_count)
+        x = np.concatenate([x_benign, adv_images[pick]])
+        y = np.concatenate([y_benign, adv_labels[pick]])
+        order = rng.permutation(total)
+        x, y = x[order], y[order]
+        dcn_labels, dcn_seconds = time_defense(ctx.dcn, x)
+        rc_labels, rc_seconds = time_defense(ctx.rc, x)
+        rows.append(
+            {
+                "fraction": fraction,
+                "dcn_seconds": dcn_seconds,
+                "rc_seconds": rc_seconds,
+                "dcn_accuracy": float((dcn_labels == y).mean()),
+                "rc_accuracy": float((rc_labels == y).mean()),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — corrector accuracy/runtime vs m
+# ---------------------------------------------------------------------------
+
+
+def fig4_corrector_sweep(
+    ctx: ExperimentContext,
+    sample_counts: tuple[int, ...] = (10, 25, 50, 100, 250, 500, 1000),
+    seed: int = 505,
+) -> list[dict[str, float]]:
+    """Recovery accuracy and runtime of the corrector as ``m`` varies."""
+    pool = ctx.pool("cw-l2")
+    adv_images, adv_labels, _ = pool.successful()
+    rows = []
+    for m in sample_counts:
+        corrector = Corrector(ctx.model, radius=ctx.radius, samples=m, seed=seed)
+        start = time.perf_counter()
+        labels = corrector.correct(adv_images)
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "m": m,
+                "recovery_accuracy": float((labels == adv_labels).mean()),
+                "seconds": seconds,
+            }
+        )
+    return rows

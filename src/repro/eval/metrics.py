@@ -1,0 +1,49 @@
+"""Evaluation metrics with the paper's semantics.
+
+Tables 4/5 use two notions of attack success:
+
+* against classifiers without correction (standard DNN, distillation) an
+  attack succeeds if its crafted example is *misclassified*;
+* against recovering defenses (RC, DCN) the attack *fails* if the defense
+  returns the right label.
+
+Both collapse to the same computation: an attack attempt counts as a
+success iff crafting succeeded **and** the defense's label differs from the
+true label.  Attempts whose crafting failed count against the attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks.base import AttackResult
+from ..defenses.base import Defense
+
+__all__ = ["attack_success_rate", "benign_accuracy", "recovery_rate"]
+
+
+def attack_success_rate(defense: Defense, result: AttackResult) -> float:
+    """Fraction of attack attempts that defeat ``defense`` (paper Tab. 4/5)."""
+    if len(result.original) == 0:
+        return 0.0
+    crafted = result.success
+    if not crafted.any():
+        return 0.0
+    labels = defense.classify(result.adversarial[crafted])
+    defeated = labels != result.source_labels[crafted]
+    return float(defeated.sum() / len(result.original))
+
+
+def recovery_rate(defense: Defense, result: AttackResult) -> float:
+    """Fraction of *successfully crafted* adversarial examples whose right
+    label the defense recovers (used by the Fig. 4 corrector sweep)."""
+    crafted = result.success
+    if not crafted.any():
+        return float("nan")
+    labels = defense.classify(result.adversarial[crafted])
+    return float((labels == result.source_labels[crafted]).mean())
+
+
+def benign_accuracy(defense: Defense, x: np.ndarray, y: np.ndarray) -> float:
+    """Classification accuracy on benign inputs (paper Tab. 3)."""
+    return float((defense.classify(x) == np.asarray(y)).mean())

@@ -1,0 +1,31 @@
+"""Wall-clock measurement helpers (paper Tables 3/6, Figs. 4/5)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from ..defenses.base import Defense
+
+__all__ = ["stopwatch", "time_defense"]
+
+
+@contextmanager
+def stopwatch() -> Iterator[list[float]]:
+    """Context manager yielding a single-element list filled with seconds."""
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start
+
+
+def time_defense(defense: Defense, x: np.ndarray) -> tuple[np.ndarray, float]:
+    """Classify ``x`` and return ``(labels, elapsed_seconds)``."""
+    start = time.perf_counter()
+    labels = defense.classify(x)
+    return labels, time.perf_counter() - start

@@ -1,0 +1,42 @@
+"""NumPy deep-learning substrate: autograd, layers, losses, optimisers.
+
+This package replaces the Keras/TensorFlow stack the paper used; see
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from . import gradcheck, init, losses, metrics, ops, optim, schedules
+from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Tanh
+from .norm import BatchNorm1D, BatchNorm2D
+from .network import Network
+from .optim import SGD, Adam
+from .tensor import Tensor, as_tensor, no_grad
+from .train import History, TrainConfig, fit
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "Network",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Flatten",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "SGD",
+    "Adam",
+    "TrainConfig",
+    "History",
+    "fit",
+    "ops",
+    "losses",
+    "optim",
+    "init",
+    "metrics",
+    "schedules",
+    "gradcheck",
+]

@@ -1,0 +1,81 @@
+"""Numerical gradient checking for custom ops and layers.
+
+The test suite uses this extensively; it is exported as a public utility
+so downstream users adding ops to :mod:`repro.nn.ops` (or layers) can
+verify their backward passes the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, no_grad
+
+__all__ = ["numerical_gradient", "check_gradients", "GradientCheckError"]
+
+
+class GradientCheckError(AssertionError):
+    """Raised when analytic and numerical gradients disagree."""
+
+
+def numerical_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function at ``x``.
+
+    ``fn`` must treat ``x`` as read-only between calls; this routine
+    mutates entries in place and restores them.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(x)
+        flat[i] = original - eps
+        lower = fn(x)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    op: Callable[..., Tensor],
+    shapes: Sequence[tuple[int, ...]],
+    rtol: float = 1e-5,
+    atol: float = 1e-5,
+    positive: bool = False,
+    seed: int = 0,
+) -> None:
+    """Verify ``op``'s backward pass against finite differences.
+
+    The objective checked is ``sum(op(*inputs))``; each input gets its turn
+    as the differentiated argument.  Raises :class:`GradientCheckError` on
+    mismatch.
+    """
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=shape) for shape in shapes]
+    if positive:
+        arrays = [np.abs(a) + 0.5 for a in arrays]
+
+    for target in range(len(arrays)):
+        tensors = [Tensor(a.copy(), requires_grad=(i == target)) for i, a in enumerate(arrays)]
+        out = op(*tensors)
+        out.sum().backward()
+        analytic = tensors[target].grad
+        if analytic is None:
+            raise GradientCheckError(f"op produced no gradient for input {target}")
+
+        def scalar(value: np.ndarray, target=target) -> float:
+            inputs = [value if i == target else arrays[i] for i in range(len(arrays))]
+            with no_grad():
+                return float(op(*[Tensor(v) for v in inputs]).sum().data)
+
+        numeric = numerical_gradient(scalar, arrays[target].copy())
+        if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+            worst = float(np.abs(analytic - numeric).max())
+            raise GradientCheckError(
+                f"gradient mismatch on input {target}: max abs error {worst:.3e}"
+            )

@@ -1,0 +1,22 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros"]
+
+
+def glorot_uniform(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation — suited to tanh/linear layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He normal initialisation — suited to ReLU layers."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,56 @@
+"""Loss functions.
+
+All losses map a logits tensor (and targets) to a scalar tensor.  The
+distillation loss implements the temperature-scaled soft-label objective of
+Papernot et al. used as one of the paper's comparison defenses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor
+
+__all__ = [
+    "cross_entropy",
+    "soft_cross_entropy",
+    "mse",
+    "one_hot",
+]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels to one-hot rows."""
+    labels = np.asarray(labels)
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError(f"labels outside [0, {num_classes})")
+    encoded = np.zeros((len(labels), num_classes))
+    encoded[np.arange(len(labels)), labels] = 1.0
+    return encoded
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits and integer labels."""
+    targets = one_hot(labels, logits.shape[-1])
+    log_probs = ops.log_softmax(logits)
+    per_example = ops.sum_(ops.mul(log_probs, targets), axis=-1)
+    return ops.mul(ops.mean(per_example), -1.0)
+
+
+def soft_cross_entropy(logits: Tensor, soft_targets: np.ndarray, temperature: float = 1.0) -> Tensor:
+    """Mean cross-entropy against soft target distributions.
+
+    Used by defensive distillation: the student is trained at temperature
+    ``T`` against the teacher's temperature-``T`` softmax outputs.
+    """
+    soft_targets = np.asarray(soft_targets)
+    log_probs = ops.log_softmax(logits, temperature=temperature)
+    per_example = ops.sum_(ops.mul(log_probs, soft_targets), axis=-1)
+    return ops.mul(ops.mean(per_example), -1.0)
+
+
+def mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error (used by autoencoder-style extensions)."""
+    diff = predictions - Tensor(np.asarray(targets))
+    return ops.mean(ops.mul(diff, diff))

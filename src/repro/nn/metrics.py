@@ -1,0 +1,56 @@
+"""Classification metrics beyond plain accuracy.
+
+Used by the evaluation harness and the extension benches: per-class recall
+explains *which* digits the corrector fails on, and calibration (ECE)
+quantifies the over-confidence that the DCN detector exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "per_class_accuracy", "expected_calibration_error"]
+
+
+def confusion_matrix(true_labels: np.ndarray, predicted: np.ndarray, num_classes: int) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = examples of class ``i`` predicted ``j``."""
+    true_labels = np.asarray(true_labels)
+    predicted = np.asarray(predicted)
+    if true_labels.shape != predicted.shape:
+        raise ValueError("label arrays must have identical shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (true_labels, predicted), 1)
+    return matrix
+
+
+def per_class_accuracy(true_labels: np.ndarray, predicted: np.ndarray, num_classes: int) -> np.ndarray:
+    """Recall per class; NaN for classes absent from ``true_labels``."""
+    matrix = confusion_matrix(true_labels, predicted, num_classes)
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, true_labels: np.ndarray, bins: int = 10
+) -> float:
+    """ECE: mean |confidence − accuracy| over equal-width confidence bins.
+
+    ``probabilities`` are the softmax rows; confidence is the winning
+    probability.
+    """
+    probabilities = np.asarray(probabilities)
+    true_labels = np.asarray(true_labels)
+    confidence = probabilities.max(axis=1)
+    predicted = probabilities.argmax(axis=1)
+    correct = predicted == true_labels
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    ece = 0.0
+    n = len(true_labels)
+    for low, high in zip(edges[:-1], edges[1:]):
+        in_bin = (confidence > low) & (confidence <= high)
+        if not in_bin.any():
+            continue
+        gap = abs(confidence[in_bin].mean() - correct[in_bin].mean())
+        ece += gap * in_bin.sum() / n
+    return float(ece)

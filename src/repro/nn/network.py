@@ -1,0 +1,150 @@
+"""The :class:`Network` container — a sequential model with the paper's API.
+
+The DCN paper treats the protected model as a function exposing *logits*
+``H(x)`` (pre-softmax) and the softmax probability vector; every attack and
+defense in this reproduction goes through this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .layers import Layer
+from .tensor import Tensor, no_grad
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A sequential stack of layers.
+
+    Parameters
+    ----------
+    layers:
+        Layers applied in order.
+    input_shape:
+        Shape of a single input example (e.g. ``(1, 28, 28)``), used for
+        validation and for computing the flattened feature sizes of
+        downstream tooling.
+    """
+
+    def __init__(self, layers: Sequence[Layer], input_shape: tuple[int, ...]):
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+
+    # -- shape bookkeeping ----------------------------------------------------
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    @property
+    def num_classes(self) -> int:
+        out = self.output_shape
+        if len(out) != 1:
+            raise ValueError(f"network output is not a class vector: {out}")
+        return out[0]
+
+    # -- forward passes ---------------------------------------------------------
+
+    def forward(self, x: Tensor, training: bool = False) -> Tensor:
+        """Differentiable forward pass returning logits."""
+        out = x
+        for layer in self.layers:
+            out = layer(out, training=training)
+        return out
+
+    def logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Non-differentiable batched logits for inference paths."""
+        x = np.asarray(x, dtype=np.float64)
+        if len(x) == 0:
+            return np.zeros((0,) + self.output_shape)
+        outputs = []
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                batch = Tensor(x[start : start + batch_size])
+                outputs.append(self.forward(batch).data)
+        return np.concatenate(outputs, axis=0)
+
+    def softmax(self, x: np.ndarray, temperature: float = 1.0, batch_size: int = 256) -> np.ndarray:
+        """Softmax probabilities, optionally temperature-scaled."""
+        logits = self.logits(x, batch_size=batch_size)
+        scaled = logits / temperature
+        shifted = scaled - scaled.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=-1, keepdims=True)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Hard labels: ``argmax_i softmax(H(x))_i``."""
+        return self.logits(x, batch_size=batch_size).argmax(axis=-1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+        return float((self.predict(x, batch_size=batch_size) == np.asarray(labels)).mean())
+
+    # -- parameters ---------------------------------------------------------------
+
+    def parameters(self) -> list[Tensor]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Flat dict of all parameter arrays, keyed ``layer{i}.{name}``."""
+        state: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.state().items():
+                state[f"layer{i}.{name}"] = value
+        return state
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.layers):
+            prefix = f"layer{i}."
+            layer_state = {
+                key[len(prefix) :]: value for key, value in state.items() if key.startswith(prefix)
+            }
+            if layer.params and not layer_state:
+                raise KeyError(f"no parameters found for layer {i} ({type(layer).__name__})")
+            if layer_state:
+                layer.load_state(layer_state)
+
+    def save(self, path) -> None:
+        np.savez_compressed(path, **self.state())
+
+    def load(self, path) -> None:
+        with np.load(path) as archive:
+            self.load_state({key: archive[key] for key in archive.files})
+
+    # -- gradients wrt inputs (used by every gradient-based attack) ----------------
+
+    def input_gradient(self, x: np.ndarray, loss_fn) -> tuple[np.ndarray, float]:
+        """Gradient of ``loss_fn(logits)`` with respect to the input batch.
+
+        Parameters
+        ----------
+        x:
+            Input batch, shape ``(N, *input_shape)``.
+        loss_fn:
+            Callable mapping the logits tensor to a scalar loss tensor.
+
+        Returns
+        -------
+        (gradient, loss_value)
+        """
+        inp = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+        logits = self.forward(inp)
+        loss = loss_fn(logits)
+        loss.backward()
+        assert inp.grad is not None
+        return inp.grad, float(loss.data)

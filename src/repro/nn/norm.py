@@ -1,0 +1,82 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import ops
+from .layers import Layer
+from .tensor import Tensor
+
+__all__ = ["BatchNorm2D", "BatchNorm1D"]
+
+
+class _BatchNormBase(Layer):
+    """Shared batch-norm logic; subclasses define the reduction axes."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.params = {
+            "gamma": Tensor(np.ones(num_features), requires_grad=True),
+            "beta": Tensor(np.zeros(num_features), requires_grad=True),
+        }
+        # Running statistics are state, not parameters (no gradients).
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    # Axes over which statistics are computed, and the broadcast shape of
+    # the per-feature vectors.
+    _axes: tuple[int, ...]
+    _shape: tuple[int, ...]
+
+    def forward(self, x: Tensor, training: bool) -> Tensor:
+        if training:
+            mean = x.data.mean(axis=self._axes)
+            var = x.data.var(axis=self._axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        mean_b = mean.reshape(self._shape)
+        std_b = np.sqrt(var + self.eps).reshape(self._shape)
+        # Statistics are treated as constants (a standard, stable
+        # simplification: gradients flow through the affine normalisation
+        # but not through the batch statistics themselves).
+        normalised = ops.mul(x - Tensor(mean_b), 1.0 / std_b)
+        gamma = ops.reshape(self.params["gamma"], self._shape)
+        beta = ops.reshape(self.params["beta"], self._shape)
+        return ops.add(ops.mul(normalised, gamma), beta)
+
+    def state(self) -> dict[str, np.ndarray]:
+        state = super().state()
+        state["running_mean"] = self.running_mean.copy()
+        state["running_var"] = self.running_var.copy()
+        return state
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        self.running_mean = np.asarray(state.pop("running_mean")).copy()
+        self.running_var = np.asarray(state.pop("running_var")).copy()
+        super().load_state(state)
+
+
+class BatchNorm2D(_BatchNormBase):
+    """Batch normalisation over NCHW feature maps."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__(num_features, momentum, eps)
+        self._axes = (0, 2, 3)
+        self._shape = (1, num_features, 1, 1)
+
+
+class BatchNorm1D(_BatchNormBase):
+    """Batch normalisation over (N, features) activations."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__(num_features, momentum, eps)
+        self._axes = (0,)
+        self._shape = (1, num_features)

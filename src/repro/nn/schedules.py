@@ -1,0 +1,83 @@
+"""Learning-rate schedules.
+
+Small utilities returning per-epoch learning rates; apply with
+:meth:`Schedule.apply` before each epoch or pass the schedule to custom
+training loops.  The built-in :func:`repro.nn.train.fit` supports a simple
+multiplicative decay; these cover the richer shapes the extension models
+(adversarial training, MagNet autoencoders) benefit from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optim import Optimizer
+
+__all__ = ["Schedule", "ConstantSchedule", "StepSchedule", "CosineSchedule", "WarmupSchedule"]
+
+
+class Schedule:
+    """Base class: maps an epoch index to a learning rate."""
+
+    def rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, epoch: int) -> float:
+        """Set the optimiser's learning rate for ``epoch``; returns it."""
+        lr = self.rate(epoch)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(Schedule):
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def rate(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepSchedule(Schedule):
+    """Multiply the base rate by ``gamma`` every ``step`` epochs."""
+
+    def __init__(self, lr: float, step: int, gamma: float = 0.1):
+        if lr <= 0 or step < 1 or not 0 < gamma <= 1:
+            raise ValueError("invalid step schedule parameters")
+        self.lr = lr
+        self.step = step
+        self.gamma = gamma
+
+    def rate(self, epoch: int) -> float:
+        return self.lr * self.gamma ** (epoch // self.step)
+
+
+class CosineSchedule(Schedule):
+    """Cosine annealing from ``lr`` down to ``min_lr`` over ``epochs``."""
+
+    def __init__(self, lr: float, epochs: int, min_lr: float = 0.0):
+        if lr <= 0 or epochs < 1 or min_lr < 0:
+            raise ValueError("invalid cosine schedule parameters")
+        self.lr = lr
+        self.epochs = epochs
+        self.min_lr = min_lr
+
+    def rate(self, epoch: int) -> float:
+        progress = min(epoch, self.epochs) / self.epochs
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1 + np.cos(np.pi * progress))
+
+
+class WarmupSchedule(Schedule):
+    """Linear warmup for ``warmup`` epochs, then delegate to ``base``."""
+
+    def __init__(self, base: Schedule, warmup: int):
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.base = base
+        self.warmup = warmup
+
+    def rate(self, epoch: int) -> float:
+        if epoch < self.warmup:
+            return self.base.rate(self.warmup) * (epoch + 1) / self.warmup
+        return self.base.rate(epoch)

@@ -1,0 +1,308 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  It provides
+a :class:`Tensor` wrapper around ``numpy.ndarray`` that records the compute
+graph as operations are applied and can backpropagate gradients through it.
+
+The design is deliberately small: a tensor stores its value, an optional
+gradient buffer, the parent tensors that produced it, and a closure that
+pushes its gradient back to those parents.  :meth:`Tensor.backward` runs a
+topological sort over the recorded graph and applies the closures in reverse
+order.
+
+Only float arrays participate in differentiation; integer label arrays are
+passed around as plain NumPy arrays by the higher layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph recording.
+
+    Used by inference paths (e.g. the region-based classifier's thousands of
+    forward passes) to avoid building unused autograd graphs.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Broadcasting in the forward pass duplicates values; the corresponding
+    backward pass must therefore sum gradients over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like value.  Float inputs are stored as ``float64`` by default
+        (NumPy's native precision — fastest for BLAS-backed matmul here).
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` when
+        :meth:`backward` is called on a downstream tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a tensor produced by an operation.
+
+        ``backward_fn`` receives the gradient of the loss with respect to the
+        new tensor and is responsible for accumulating into each parent that
+        requires a gradient.
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = cls.__new__(cls)
+        out.data = data
+        out.requires_grad = requires
+        out.grad = None
+        if requires:
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        else:
+            out._parents = ()
+            out._backward_fn = None
+        return out
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+        else:
+            self.grad = self.grad + grad
+
+    # -- autodiff ---------------------------------------------------------------
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
+
+        order = _topological_order(self)
+        self._accumulate(grad)
+        for node in order:
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+                # Release interior gradients and graph references promptly.
+                if node is not self:
+                    node.grad = None
+                node._backward_fn = None
+                node._parents = ()
+
+    # -- operators (implemented in ops.py, attached below) -----------------------
+
+    def __add__(self, other):
+        from . import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        from . import ops
+
+        return ops.mul(self, -1.0)
+
+    def __sub__(self, other):
+        from . import ops
+
+        return ops.add(self, ops.mul(as_tensor(other), -1.0))
+
+    def __rsub__(self, other):
+        from . import ops
+
+        return ops.add(as_tensor(other), ops.mul(self, -1.0))
+
+    def __mul__(self, other):
+        from . import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from . import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from . import ops
+
+        return ops.div(as_tensor(other), self)
+
+    def __pow__(self, exponent):
+        from . import ops
+
+        return ops.power(self, exponent)
+
+    def __matmul__(self, other):
+        from . import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index):
+        from . import ops
+
+        return ops.getitem(self, index)
+
+    def sum(self, axis=None, keepdims: bool = False):
+        from . import ops
+
+        return ops.sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        from . import ops
+
+        return ops.max_(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, *axes):
+        from . import ops
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops.transpose(self, axes or None)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Return tensors reachable from ``root`` in reverse-topological order.
+
+    Iterative DFS — adversarial attacks build deep graphs (hundreds of ops),
+    so recursion would risk hitting Python's stack limit.
+    """
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order

@@ -1,0 +1,94 @@
+"""Mini-batch training loop with history tracking."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .losses import cross_entropy
+from .network import Network
+from .optim import Optimizer
+from .tensor import Tensor
+
+__all__ = ["TrainConfig", "History", "fit"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :func:`fit`."""
+
+    epochs: int = 10
+    batch_size: int = 128
+    shuffle: bool = True
+    verbose: bool = False
+    # Optional per-epoch multiplicative LR decay (1.0 = constant).
+    lr_decay: float = 1.0
+
+
+@dataclass
+class History:
+    """Per-epoch training metrics."""
+
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    seconds: float = 0.0
+
+
+def fit(
+    network: Network,
+    optimizer: Optimizer,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig,
+    rng: np.random.Generator,
+    loss_fn: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+) -> History:
+    """Train ``network`` on ``(x, y)``.
+
+    ``y`` may be integer labels (default cross-entropy) or, with a custom
+    ``loss_fn``, per-example soft-target rows (distillation).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    history = History()
+    start = time.perf_counter()
+    indices = np.arange(len(x))
+    for epoch in range(config.epochs):
+        if config.shuffle:
+            rng.shuffle(indices)
+        epoch_loss = 0.0
+        correct = 0
+        for begin in range(0, len(x), config.batch_size):
+            batch_idx = indices[begin : begin + config.batch_size]
+            xb, yb = x[batch_idx], y[batch_idx]
+            optimizer.zero_grad()
+            logits = network.forward(Tensor(xb), training=True)
+            loss = loss_fn(logits, yb)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += float(loss.data) * len(xb)
+            predicted = logits.data.argmax(axis=-1)
+            hard = yb if yb.ndim == 1 else yb.argmax(axis=-1)
+            correct += int((predicted == hard).sum())
+        history.loss.append(epoch_loss / len(x))
+        history.accuracy.append(correct / len(x))
+        if x_val is not None and y_val is not None:
+            history.val_accuracy.append(network.accuracy(x_val, y_val))
+        if config.lr_decay != 1.0 and hasattr(optimizer, "lr"):
+            optimizer.lr *= config.lr_decay
+        if config.verbose:
+            val = f" val_acc={history.val_accuracy[-1]:.4f}" if history.val_accuracy else ""
+            print(
+                f"epoch {epoch + 1}/{config.epochs}: "
+                f"loss={history.loss[-1]:.4f} acc={history.accuracy[-1]:.4f}{val}"
+            )
+    history.seconds = time.perf_counter() - start
+    return history

@@ -1,0 +1,78 @@
+"""Terminal visualisation helpers.
+
+The reproduction environment is terminal-only, so the examples render
+images and perturbations as ASCII/Unicode art — enough to eyeball what the
+paper's Fig. 1 shows graphically (a digit, its adversarial twin, and the
+noise between them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .datasets.dataset import PIXEL_MAX, PIXEL_MIN
+
+__all__ = ["ascii_image", "ascii_diff", "side_by_side"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, width: int | None = None) -> str:
+    """Render a single image (CHW or HW) as ASCII art.
+
+    Colour images are collapsed to luminance.  Values are assumed to span
+    the paper's ``[-0.5, 0.5]`` box.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 3:
+        image = image.mean(axis=0)
+    if image.ndim != 2:
+        raise ValueError(f"expected HW or CHW image, got shape {image.shape}")
+    unit = np.clip((image - PIXEL_MIN) / (PIXEL_MAX - PIXEL_MIN), 0.0, 1.0)
+    if width is not None and width != image.shape[1]:
+        step = image.shape[1] / width
+        cols = (np.arange(width) * step).astype(int)
+        rows = (np.arange(int(image.shape[0] / step)) * step).astype(int)
+        unit = unit[np.ix_(rows, cols)]
+    indices = (unit * (len(_RAMP) - 1)).round().astype(int)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in indices)
+
+
+def ascii_diff(original: np.ndarray, adversarial: np.ndarray) -> str:
+    """Render the perturbation between two images.
+
+    ``+`` marks pixels pushed up, ``-`` pixels pushed down, stronger
+    changes get ``#``/``=``; unchanged pixels stay blank.
+    """
+    original = np.asarray(original, dtype=np.float64)
+    adversarial = np.asarray(adversarial, dtype=np.float64)
+    delta = adversarial - original
+    if delta.ndim == 3:
+        delta = delta.mean(axis=0)
+    scale = max(float(np.abs(delta).max()), 1e-9)
+    rows = []
+    for row in delta:
+        chars = []
+        for value in row:
+            magnitude = abs(value) / scale
+            if magnitude < 0.05:
+                chars.append(" ")
+            elif value > 0:
+                chars.append("#" if magnitude > 0.5 else "+")
+            else:
+                chars.append("=" if magnitude > 0.5 else "-")
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def side_by_side(*blocks: str, gap: int = 3) -> str:
+    """Join multi-line ASCII blocks horizontally."""
+    split = [block.splitlines() for block in blocks]
+    height = max(len(lines) for lines in split)
+    widths = [max((len(line) for line in lines), default=0) for lines in split]
+    padded = [
+        [line.ljust(width) for line in lines] + [" " * width] * (height - len(lines))
+        for lines, width in zip(split, widths)
+    ]
+    separator = " " * gap
+    return "\n".join(separator.join(parts) for parts in zip(*padded))

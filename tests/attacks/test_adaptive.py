@@ -1,0 +1,63 @@
+"""Tests for the detector-aware adaptive CW attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CarliniWagnerL2, DetectorAwareCWL2
+from repro.core import LogitDetector, build_detector_network
+from repro.nn import Adam, TrainConfig, fit
+
+
+@pytest.fixture(scope="module")
+def raw_detector(tiny_correct):
+    """A raw-feature detector trained on the tiny model's CW-L2 logits."""
+    network, x, y = tiny_correct
+    targets = (y[:20] + 1) % 10
+    attack = CarliniWagnerL2(binary_search_steps=3, max_iterations=80)
+    result = attack.perturb(network, x[:20], y[:20], targets)
+    benign_logits = network.logits(x)
+    adv_logits = network.logits(result.adversarial[result.success])
+    features = np.concatenate([benign_logits, adv_logits])
+    labels = np.concatenate([np.zeros(len(benign_logits), int), np.ones(len(adv_logits), int)])
+    det_net = build_detector_network()
+    fit(
+        det_net, Adam(det_net.parameters(), lr=1e-2), features, labels,
+        TrainConfig(epochs=250, batch_size=32), np.random.default_rng(0),
+    )
+    return LogitDetector(det_net, sort_features=False)
+
+
+class TestDetectorAware:
+    def test_rejects_sorted_detector(self, raw_detector):
+        sorted_detector = LogitDetector(raw_detector.network, sort_features=True)
+        with pytest.raises(ValueError, match="sort_features"):
+            DetectorAwareCWL2(sorted_detector)
+
+    def test_bypasses_detector(self, tiny_correct, raw_detector):
+        network, x, y = tiny_correct
+        targets = (y[:8] + 2) % 10
+        attack = DetectorAwareCWL2(raw_detector, binary_search_steps=3, max_iterations=120)
+        result = attack.perturb(network, x[:8], y[:8], targets)
+        assert result.success_rate > 0.4
+        # By construction, every reported success evades the detector AND
+        # hits the target.
+        adv = result.adversarial[result.success]
+        assert not raw_detector.flag_images(network, adv).any()
+        np.testing.assert_array_equal(network.predict(adv), targets[result.success])
+
+    def test_costs_more_distortion_than_plain_cw(self, tiny_correct, raw_detector):
+        network, x, y = tiny_correct
+        targets = (y[:8] + 2) % 10
+        plain = CarliniWagnerL2(binary_search_steps=3, max_iterations=120).perturb(
+            network, x[:8], y[:8], targets
+        )
+        aware = DetectorAwareCWL2(raw_detector, binary_search_steps=3, max_iterations=120).perturb(
+            network, x[:8], y[:8], targets
+        )
+        both = plain.success & aware.success
+        if both.sum() >= 3:
+            from repro.attacks import distortion
+
+            plain_l2 = distortion(x[:8][both], plain.adversarial[both], "l2").mean()
+            aware_l2 = distortion(x[:8][both], aware.adversarial[both], "l2").mean()
+            assert aware_l2 >= plain_l2 - 0.05

@@ -1,0 +1,102 @@
+"""Tests for attack result containers and distance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attacks import AttackResult, clip_to_box, distortion
+from repro.datasets.dataset import PIXEL_MAX, PIXEL_MIN
+
+
+class TestDistortion:
+    def test_l0_counts_positions_not_channels(self):
+        original = np.zeros((1, 3, 2, 2))
+        adv = original.copy()
+        adv[0, :, 0, 0] = 0.3  # all three channels of one pixel
+        assert distortion(original, adv, "l0")[0] == 1.0
+
+    def test_l0_grayscale(self):
+        original = np.zeros((1, 1, 3, 3))
+        adv = original.copy()
+        adv[0, 0, 0, 0] = 0.1
+        adv[0, 0, 2, 2] = -0.1
+        assert distortion(original, adv, "l0")[0] == 2.0
+
+    def test_l2_euclidean(self):
+        original = np.zeros((1, 1, 2, 2))
+        adv = original + 0.5
+        assert distortion(original, adv, "l2")[0] == pytest.approx(1.0)
+
+    def test_linf_max_change(self):
+        original = np.zeros((1, 1, 2, 2))
+        adv = original.copy()
+        adv[0, 0, 0, 1] = 0.4
+        adv[0, 0, 1, 1] = -0.2
+        assert distortion(original, adv, "linf")[0] == pytest.approx(0.4)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            distortion(np.zeros((1, 1, 2, 2)), np.zeros((1, 1, 2, 2)), "l1")
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (3, 1, 4, 4),
+            elements=st.floats(PIXEL_MIN, PIXEL_MAX, allow_nan=False),
+        ),
+        hnp.arrays(
+            np.float64,
+            (3, 1, 4, 4),
+            elements=st.floats(PIXEL_MIN, PIXEL_MAX, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_metric_properties(self, a, b):
+        for metric in ("l0", "l2", "linf"):
+            d = distortion(a, b, metric)
+            assert (d >= 0).all()
+            # Identity of indiscernibles (zero iff equal batches).
+            np.testing.assert_array_equal(distortion(a, a, metric), np.zeros(3))
+        assert (distortion(a, b, "l0") <= 16).all()
+        assert (distortion(a, b, "linf") <= (PIXEL_MAX - PIXEL_MIN) + 1e-12).all()
+        # linf <= l2 <= sqrt(n)*linf
+        l2 = distortion(a, b, "l2")
+        linf = distortion(a, b, "linf")
+        assert (linf <= l2 + 1e-12).all()
+        assert (l2 <= np.sqrt(16) * linf + 1e-12).all()
+
+    @given(
+        hnp.arrays(np.float64, (2, 1, 3, 3), elements=st.floats(-2, 2, allow_nan=False))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_clip_to_box_idempotent_and_bounded(self, x):
+        clipped = clip_to_box(x)
+        assert clipped.min() >= PIXEL_MIN and clipped.max() <= PIXEL_MAX
+        np.testing.assert_array_equal(clip_to_box(clipped), clipped)
+
+
+class TestAttackResult:
+    def _result(self):
+        original = np.zeros((4, 1, 2, 2))
+        adv = original + 0.1
+        success = np.array([True, False, True, True])
+        return AttackResult(original, adv, success, np.arange(4))
+
+    def test_success_rate(self):
+        assert self._result().success_rate == 0.75
+
+    def test_distortions_only_successful(self):
+        result = self._result()
+        assert len(result.distortions("l2")) == 3
+
+    def test_mean_distortion_nan_when_all_failed(self):
+        original = np.zeros((2, 1, 2, 2))
+        result = AttackResult(original, original, np.zeros(2, bool), np.arange(2))
+        assert np.isnan(result.mean_distortion("l2"))
+
+    def test_inconsistent_lengths_rejected(self):
+        original = np.zeros((3, 1, 2, 2))
+        with pytest.raises(ValueError):
+            AttackResult(original, original, np.zeros(2, bool), np.arange(3))

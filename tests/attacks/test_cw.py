@@ -1,0 +1,179 @@
+"""Tests for the three Carlini & Wagner attacks and JSMA."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    JSMA,
+    AdamState,
+    CarliniWagnerL0,
+    CarliniWagnerL2,
+    CarliniWagnerLinf,
+    FGSM,
+    distortion,
+)
+from repro.datasets.dataset import PIXEL_MAX, PIXEL_MIN
+
+
+def _targets(labels, rng):
+    t = (labels + rng.integers(1, 10, len(labels))) % 10
+    return np.where(t == labels, (t + 1) % 10, t)
+
+
+@pytest.fixture(scope="module")
+def cw_l2_result(tiny_correct):
+    network, x, y = tiny_correct
+    rng = np.random.default_rng(0)
+    targets = _targets(y[:15], rng)
+    attack = CarliniWagnerL2(binary_search_steps=3, max_iterations=100)
+    return network, x[:15], y[:15], targets, attack.perturb(network, x[:15], y[:15], targets)
+
+
+class TestAdamState:
+    def test_converges_on_quadratic(self):
+        adam = AdamState((2,), lr=0.1)
+        values = np.zeros(2)
+        target = np.array([1.0, -1.0])
+        for _ in range(300):
+            values = adam.update(values, 2 * (values - target))
+        np.testing.assert_allclose(values, target, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        adam = AdamState((1,), lr=0.05)
+        out = adam.update(np.zeros(1), np.array([100.0]))
+        assert abs(out[0]) == pytest.approx(0.05, rel=1e-5)
+
+
+class TestCWL2:
+    def test_high_success(self, cw_l2_result):
+        _, _, _, _, result = cw_l2_result
+        assert result.success_rate >= 0.9
+
+    def test_hits_requested_targets(self, cw_l2_result):
+        network, _, _, targets, result = cw_l2_result
+        predicted = network.predict(result.adversarial[result.success])
+        np.testing.assert_array_equal(predicted, targets[result.success])
+
+    def test_respects_box(self, cw_l2_result):
+        _, _, _, _, result = cw_l2_result
+        assert result.adversarial.min() >= PIXEL_MIN - 1e-9
+        assert result.adversarial.max() <= PIXEL_MAX + 1e-9
+
+    def test_smaller_l2_than_fgsm(self, cw_l2_result, tiny_correct):
+        network, x, y, targets, result = cw_l2_result
+        fgsm = FGSM(epsilon=0.4).perturb(network, x, y, targets)
+        both = result.success & fgsm.success
+        if both.sum() >= 3:
+            cw_d = distortion(x[both], result.adversarial[both], "l2").mean()
+            fg_d = distortion(x[both], fgsm.adversarial[both], "l2").mean()
+            assert cw_d < fg_d
+
+    def test_confidence_increases_margin(self, tiny_correct):
+        network, x, y = tiny_correct
+        rng = np.random.default_rng(1)
+        targets = _targets(y[:8], rng)
+
+        def margins(kappa):
+            attack = CarliniWagnerL2(confidence=kappa, binary_search_steps=3, max_iterations=100)
+            result = attack.perturb(network, x[:8], y[:8], targets)
+            logits = network.logits(result.adversarial[result.success])
+            t = targets[result.success]
+            z_t = logits[np.arange(len(t)), t]
+            masked = logits.copy()
+            masked[np.arange(len(t)), t] = -np.inf
+            return (z_t - masked.max(axis=1)).mean()
+
+        assert margins(3.0) > margins(0.0)
+
+    def test_mask_freezes_pixels(self, tiny_correct):
+        network, x, y = tiny_correct
+        rng = np.random.default_rng(2)
+        targets = _targets(y[:5], rng)
+        mask = np.ones_like(x[:5])
+        mask[:, :, 0, :] = 0.0  # top row frozen
+        attack = CarliniWagnerL2(binary_search_steps=2, max_iterations=60)
+        result = attack.perturb(network, x[:5], y[:5], targets, mask=mask)
+        np.testing.assert_allclose(result.adversarial[:, :, 0, :], x[:5][:, :, 0, :], atol=1e-9)
+
+
+class TestCWL0:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_correct):
+        network, x, y = tiny_correct
+        rng = np.random.default_rng(3)
+        targets = _targets(y[:8], rng)
+        attack = CarliniWagnerL0(max_rounds=8)
+        return network, x[:8], y[:8], targets, attack.perturb(network, x[:8], y[:8], targets)
+
+    def test_success(self, result):
+        _, _, _, _, res = result
+        assert res.success_rate >= 0.7
+
+    def test_changes_few_pixels(self, result):
+        _, x, _, _, res = result
+        l0 = res.distortions("l0")
+        assert (l0 < x[0].size).all()
+        assert l0.mean() < x[0].size * 0.6
+
+    def test_respects_box(self, result):
+        _, _, _, _, res = result
+        assert res.adversarial.min() >= PIXEL_MIN - 1e-9
+        assert res.adversarial.max() <= PIXEL_MAX + 1e-9
+
+    def test_targets_hit(self, result):
+        network, _, _, targets, res = result
+        predicted = network.predict(res.adversarial[res.success])
+        np.testing.assert_array_equal(predicted, targets[res.success])
+
+
+class TestCWLinf:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_correct):
+        network, x, y = tiny_correct
+        rng = np.random.default_rng(4)
+        targets = _targets(y[:8], rng)
+        attack = CarliniWagnerLinf(max_rounds=8, max_iterations=100)
+        return network, x[:8], y[:8], targets, attack.perturb(network, x[:8], y[:8], targets)
+
+    def test_success(self, result):
+        _, _, _, _, res = result
+        assert res.success_rate >= 0.7
+
+    def test_linf_below_half_box(self, result):
+        _, _, _, _, res = result
+        assert res.distortions("linf").max() < 1.0
+
+    def test_tighter_than_fgsm_epsilon(self, result, tiny_correct):
+        # CW-Linf should find perturbations below a generous FGSM budget.
+        _, _, _, _, res = result
+        if res.success.any():
+            assert res.distortions("linf").mean() < 0.4
+
+
+class TestJSMA:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_correct):
+        network, x, y = tiny_correct
+        rng = np.random.default_rng(5)
+        targets = _targets(y[:10], rng)
+        attack = JSMA(gamma=0.4)
+        return network, x[:10], targets, attack.perturb(network, x[:10], y[:10], targets)
+
+    def test_some_success(self, result):
+        _, _, _, res = result
+        assert res.success_rate > 0.3
+
+    def test_l0_bounded_by_gamma(self, result):
+        _, x, _, res = result
+        assert res.distortions("l0").max() <= x[0].size * 0.4 + 1
+
+    def test_modified_pixels_saturated(self, result):
+        _, x, _, res = result
+        changed = np.abs(res.adversarial - x) > 1e-7
+        assert np.allclose(res.adversarial[changed], PIXEL_MAX)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            JSMA(gamma=0.0)
+        with pytest.raises(ValueError):
+            JSMA(theta=0.0)

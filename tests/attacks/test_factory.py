@@ -1,0 +1,53 @@
+"""Tests for the named-attack factory."""
+
+import pytest
+
+from repro.attacks import (
+    ATTACK_FACTORIES,
+    CarliniWagnerL2,
+    DeepFool,
+    make_attack,
+)
+from repro.attacks.factory import TARGETED_ATTACKS, UNTARGETED_ATTACKS
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in ATTACK_FACTORIES:
+            attack = make_attack(name)
+            assert hasattr(attack, "perturb")
+            assert hasattr(attack, "norm")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown attack"):
+            make_attack("boundary-attack")
+
+    def test_overrides_applied(self):
+        attack = make_attack("cw-l2", confidence=7.0, max_iterations=10)
+        assert isinstance(attack, CarliniWagnerL2)
+        assert attack.confidence == 7.0
+        assert attack.max_iterations == 10
+
+    def test_default_budget_preserved_with_partial_override(self):
+        attack = make_attack("cw-l2", confidence=2.0)
+        assert attack.binary_search_steps == 4  # factory default survives
+
+    def test_deepfool_untargeted(self):
+        assert isinstance(make_attack("deepfool"), DeepFool)
+        assert "deepfool" in UNTARGETED_ATTACKS
+        assert "deepfool" not in TARGETED_ATTACKS
+
+    def test_taxonomy_covers_paper_table1(self):
+        # Paper Table 1 lists L-BFGS, FGSM, IGSM, JSMA, DeepFool, CW.
+        expected = {"lbfgs", "fgsm", "igsm", "jsma", "deepfool", "cw-l0", "cw-l2", "cw-linf"}
+        assert expected <= set(ATTACK_FACTORIES)
+
+    def test_norms_match_paper_table1(self):
+        assert make_attack("lbfgs").norm == "l2"
+        assert make_attack("fgsm").norm == "linf"
+        assert make_attack("igsm").norm == "linf"
+        assert make_attack("jsma").norm == "l0"
+        assert make_attack("deepfool").norm == "l2"
+        assert make_attack("cw-l0").norm == "l0"
+        assert make_attack("cw-l2").norm == "l2"
+        assert make_attack("cw-linf").norm == "linf"

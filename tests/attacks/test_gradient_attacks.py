@@ -1,0 +1,161 @@
+"""Tests for FGSM, IGSM, DeepFool, L-BFGS and the gradient helpers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, IGSM, DeepFool, LBFGSAttack, UntargetedFromTargeted, distortion
+from repro.attacks.gradients import cross_entropy_gradient, jacobian, logit_gradient
+from repro.datasets.dataset import PIXEL_MAX, PIXEL_MIN
+
+
+def _targets(labels, rng):
+    t = (labels + rng.integers(1, 10, len(labels))) % 10
+    return np.where(t == labels, (t + 1) % 10, t)
+
+
+class TestGradientHelpers:
+    def test_cross_entropy_gradient_shape(self, tiny_correct):
+        network, x, y = tiny_correct
+        grad = cross_entropy_gradient(network, x[:3], y[:3])
+        assert grad.shape == (3, 1, 6, 6)
+        assert np.abs(grad).max() > 0
+
+    def test_gradient_independent_of_batch(self, tiny_correct):
+        network, x, y = tiny_correct
+        single = cross_entropy_gradient(network, x[:1], y[:1])
+        batched = cross_entropy_gradient(network, x[:4], y[:4])
+        np.testing.assert_allclose(single[0], batched[0], atol=1e-10)
+
+    def test_logit_gradient_matches_jacobian_row(self, tiny_correct):
+        network, x, _ = tiny_correct
+        full = jacobian(network, x[:2])
+        row = logit_gradient(network, x[:2], np.array([3, 3]))
+        np.testing.assert_allclose(full[:, 3], row, atol=1e-12)
+
+    def test_jacobian_shape(self, tiny_correct):
+        network, x, _ = tiny_correct
+        assert jacobian(network, x[:2]).shape == (2, 10, 1, 6, 6)
+
+
+class TestFGSM:
+    def test_untargeted_flips_labels(self, tiny_correct):
+        network, x, y = tiny_correct
+        result = FGSM(epsilon=0.3).perturb(network, x[:20], y[:20])
+        assert result.success_rate > 0.5
+        assert result.target_labels is None
+
+    def test_respects_box(self, tiny_correct):
+        network, x, y = tiny_correct
+        result = FGSM(epsilon=0.5).perturb(network, x[:10], y[:10])
+        assert result.adversarial.min() >= PIXEL_MIN
+        assert result.adversarial.max() <= PIXEL_MAX
+
+    def test_linf_bounded_by_epsilon(self, tiny_correct):
+        network, x, y = tiny_correct
+        eps = 0.2
+        result = FGSM(epsilon=eps).perturb(network, x[:10], y[:10])
+        assert distortion(x[:10], result.adversarial, "linf").max() <= eps + 1e-9
+
+    def test_targeted_mode(self, tiny_correct):
+        network, x, y = tiny_correct
+        rng = np.random.default_rng(0)
+        targets = _targets(y[:20], rng)
+        result = FGSM(epsilon=0.4).perturb(network, x[:20], y[:20], targets)
+        # Success must be measured against the targets.
+        predicted = network.predict(result.adversarial)
+        np.testing.assert_array_equal(result.success, predicted == targets)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            FGSM(epsilon=0.0)
+
+
+class TestIGSM:
+    def test_beats_fgsm_at_same_budget(self, tiny_correct):
+        network, x, y = tiny_correct
+        eps = 0.15
+        fgsm = FGSM(epsilon=eps).perturb(network, x[:30], y[:30])
+        igsm = IGSM(epsilon=eps, alpha=0.02, steps=20).perturb(network, x[:30], y[:30])
+        assert igsm.success_rate >= fgsm.success_rate
+
+    def test_stays_in_epsilon_ball(self, tiny_correct):
+        network, x, y = tiny_correct
+        eps = 0.1
+        result = IGSM(epsilon=eps, alpha=0.03, steps=15).perturb(network, x[:10], y[:10])
+        assert distortion(x[:10], result.adversarial, "linf").max() <= eps + 1e-9
+
+    def test_early_stop_freezes_successes(self, tiny_correct):
+        # With a tiny alpha relative to budget, successful examples should
+        # stop moving: their distortion must be below the full budget.
+        network, x, y = tiny_correct
+        result = IGSM(epsilon=0.5, alpha=0.05, steps=10).perturb(network, x[:20], y[:20])
+        succeeded = result.success
+        if succeeded.any():
+            dist = distortion(x[:20][succeeded], result.adversarial[succeeded], "linf")
+            assert dist.min() < 0.5
+
+
+class TestDeepFool:
+    def test_finds_small_perturbations(self, tiny_correct):
+        network, x, y = tiny_correct
+        result = DeepFool(max_steps=40).perturb(network, x[:20], y[:20])
+        assert result.success_rate > 0.8
+        fgsm = FGSM(epsilon=0.3).perturb(network, x[:20], y[:20])
+        ok = result.success & fgsm.success
+        if ok.sum() >= 3:
+            df_l2 = distortion(x[:20][ok], result.adversarial[ok], "l2").mean()
+            fg_l2 = distortion(x[:20][ok], fgsm.adversarial[ok], "l2").mean()
+            assert df_l2 < fg_l2
+
+    def test_respects_box(self, tiny_correct):
+        network, x, y = tiny_correct
+        result = DeepFool().perturb(network, x[:10], y[:10])
+        assert result.adversarial.min() >= PIXEL_MIN - 1e-12
+        assert result.adversarial.max() <= PIXEL_MAX + 1e-12
+
+
+class TestLBFGS:
+    def test_targeted_success(self, tiny_correct):
+        network, x, y = tiny_correct
+        rng = np.random.default_rng(1)
+        targets = _targets(y[:5], rng)
+        result = LBFGSAttack().perturb(network, x[:5], y[:5], targets)
+        assert result.success_rate > 0.5
+        predicted = network.predict(result.adversarial[result.success])
+        np.testing.assert_array_equal(predicted, targets[result.success])
+
+    def test_respects_box(self, tiny_correct):
+        network, x, y = tiny_correct
+        targets = _targets(y[:3], np.random.default_rng(2))
+        result = LBFGSAttack().perturb(network, x[:3], y[:3], targets)
+        assert result.adversarial.min() >= PIXEL_MIN - 1e-9
+        assert result.adversarial.max() <= PIXEL_MAX + 1e-9
+
+
+class TestUntargetedWrapper:
+    def test_wraps_targeted_attack(self, tiny_correct):
+        network, x, y = tiny_correct
+        wrapper = UntargetedFromTargeted(IGSM(epsilon=0.3, alpha=0.05, steps=10))
+        result = wrapper.perturb(network, x[:10], y[:10])
+        assert result.target_labels is None
+        assert result.success_rate > 0.5
+        predicted = network.predict(result.adversarial[result.success])
+        assert (predicted != y[:10][result.success]).all()
+
+    def test_picks_minimum_distortion(self, tiny_correct):
+        network, x, y = tiny_correct
+        wrapper = UntargetedFromTargeted(IGSM(epsilon=0.4, alpha=0.05, steps=12), metric="linf")
+        result = wrapper.perturb(network, x[:6], y[:6])
+        # The chosen example can never have larger distortion than any other
+        # successful target for the same seed; spot check via re-running.
+        raw = IGSM(epsilon=0.4, alpha=0.05, steps=12)
+        for i in range(3):
+            if not result.success[i]:
+                continue
+            chosen = distortion(x[i : i + 1], result.adversarial[i : i + 1], "linf")[0]
+            targets = np.array([c for c in range(10) if c != y[i]])
+            tiled = np.repeat(x[i : i + 1], 9, axis=0)
+            full = raw.perturb(network, tiled, np.repeat(y[i : i + 1], 9), targets)
+            if full.success.any():
+                dists = distortion(tiled[full.success], full.adversarial[full.success], "linf")
+                assert chosen <= dists.min() + 1e-9

@@ -1,0 +1,50 @@
+"""Tests for the random-noise control baselines."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CarliniWagnerL2, GaussianNoise, UniformNoise, distortion
+
+
+class TestUniformNoise:
+    def test_respects_epsilon(self, tiny_correct):
+        network, x, y = tiny_correct
+        result = UniformNoise(epsilon=0.1).perturb(network, x[:10], y[:10])
+        assert distortion(x[:10], result.adversarial, "linf").max() <= 0.1 + 1e-12
+
+    def test_rarely_flips_predictions(self, tiny_correct):
+        network, x, y = tiny_correct
+        result = UniformNoise(epsilon=0.1, seed=1).perturb(network, x[:40], y[:40])
+        # The control claim: random noise at small epsilon is not an attack.
+        assert result.success_rate < 0.2
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            UniformNoise(epsilon=0)
+
+
+class TestGaussianNoise:
+    def test_l2_scaled(self, tiny_correct):
+        network, x, y = tiny_correct
+        result = GaussianNoise(l2_norm=0.5).perturb(network, x[:10], y[:10])
+        # Clipping to the box can only shrink the norm.
+        assert distortion(x[:10], result.adversarial, "l2").max() <= 0.5 + 1e-9
+
+    def test_directedness_of_adversarial_noise(self, tiny_correct):
+        """The scientific control: CW perturbations flip labels at an L2
+        where random noise of the same magnitude does not."""
+        network, x, y = tiny_correct
+        targets = (y[:10] + 1) % 10
+        cw = CarliniWagnerL2(binary_search_steps=3, max_iterations=100).perturb(
+            network, x[:10], y[:10], targets
+        )
+        if not cw.success.any():
+            pytest.skip("CW failed on this toy model")
+        budget = float(cw.distortions("l2").mean())
+        noise = GaussianNoise(l2_norm=budget, seed=2).perturb(network, x[:40], y[:40])
+        assert cw.success_rate > 0.8
+        assert noise.success_rate < cw.success_rate / 2
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(l2_norm=-1.0)

@@ -1,0 +1,84 @@
+"""Tests for the PGD and black-box substitute extensions."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, IGSM, PGD, SubstituteBlackBox, distortion
+from repro.datasets.dataset import PIXEL_MAX, PIXEL_MIN
+from tests.conftest import make_blob_problem
+
+
+class TestPGD:
+    def test_untargeted_success(self, tiny_correct):
+        network, x, y = tiny_correct
+        result = PGD(epsilon=0.3, alpha=0.04, steps=15).perturb(network, x[:20], y[:20])
+        assert result.success_rate > 0.6
+
+    def test_stays_in_ball_and_box(self, tiny_correct):
+        network, x, y = tiny_correct
+        eps = 0.12
+        result = PGD(epsilon=eps, alpha=0.02, steps=10).perturb(network, x[:10], y[:10])
+        assert distortion(x[:10], result.adversarial, "linf").max() <= eps + 1e-9
+        assert result.adversarial.min() >= PIXEL_MIN - 1e-12
+        assert result.adversarial.max() <= PIXEL_MAX + 1e-12
+
+    def test_at_least_as_strong_as_igsm(self, tiny_correct):
+        network, x, y = tiny_correct
+        eps = 0.12
+        igsm = IGSM(epsilon=eps, alpha=0.02, steps=15).perturb(network, x[:30], y[:30])
+        pgd = PGD(epsilon=eps, alpha=0.02, steps=15, restarts=3).perturb(network, x[:30], y[:30])
+        assert pgd.success_rate >= igsm.success_rate - 0.05
+
+    def test_targeted_mode(self, tiny_correct):
+        network, x, y = tiny_correct
+        targets = (y[:15] + 1) % 10
+        result = PGD(epsilon=0.3, alpha=0.04, steps=20).perturb(network, x[:15], y[:15], targets)
+        predicted = network.predict(result.adversarial[result.success])
+        np.testing.assert_array_equal(predicted, targets[result.success])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PGD(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PGD(restarts=0)
+
+
+class TestSubstituteBlackBox:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_correct):
+        network, x, y = tiny_correct
+        rng = np.random.default_rng(11)
+        seeds, _ = make_blob_problem(80, rng)
+        # Minimal-distortion inner attacks do not transfer (they stop at
+        # the substitute's own boundary); a generous FGSM step does.
+        attack = SubstituteBlackBox(
+            seeds, augmentation_rounds=1, epochs=20, seed=1, inner_attack=FGSM(epsilon=0.4)
+        )
+        attack.fit_substitute(network)
+        return network, x, y, attack
+
+    def test_substitute_agrees_with_victim(self, fitted):
+        network, x, _, attack = fitted
+        assert attack.agreement(network, x[:50]) > 0.7
+
+    def test_query_budget_tracked(self, fitted):
+        _, _, _, attack = fitted
+        # 80 seeds + 80 augmented points queried once each.
+        assert attack.queries_used == 160
+
+    def test_transfer_attack_succeeds_sometimes(self, fitted):
+        network, x, y, attack = fitted
+        result = attack.perturb(network, x[:30], y[:30])
+        assert result.target_labels is None
+        # Transferability is imperfect by nature; some but not none.
+        assert 0.1 < result.success_rate <= 1.0
+
+    def test_success_judged_by_victim_not_substitute(self, fitted):
+        network, x, y, attack = fitted
+        result = attack.perturb(network, x[:20], y[:20])
+        predicted = network.predict(result.adversarial)
+        np.testing.assert_array_equal(result.success, predicted != y[:20])
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            SubstituteBlackBox(np.zeros((4, 1, 6, 6)), augmentation_rounds=-1)

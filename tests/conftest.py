@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+``tiny_model`` is a 10-class toy problem (bright blob position on a 6x6
+canvas) trained in-session in a couple of seconds — attack unit tests use
+it so they don't depend on the cached zoo models.  Integration tests that
+need realistic models use the ``mnist-fast`` context, which loads cached
+artifacts from ``.artifacts`` (built on first use).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import PIXEL_MAX, PIXEL_MIN
+from repro.nn import Adam, Dense, Flatten, Network, ReLU, TrainConfig, fit
+
+
+def make_blob_problem(n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """10-class toy images: class = which of 10 cells holds a bright blob."""
+    # Ten blob centres on a 6x6 canvas.
+    centres = [(r, c) for r in (1, 3) for c in (1, 3, 5)] + [(5, c) for c in (0, 2, 4, 5)]
+    centres = centres[:10]
+    labels = rng.integers(0, 10, size=n)
+    x = rng.uniform(PIXEL_MIN, PIXEL_MIN + 0.2, size=(n, 1, 6, 6))
+    for i, label in enumerate(labels):
+        r, c = centres[label]
+        x[i, 0, r, c] = PIXEL_MAX
+        if r + 1 < 6:
+            x[i, 0, r + 1, c] = PIXEL_MAX - 0.1
+    return x, labels
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A trained 10-class toy classifier plus held-out data."""
+    rng = np.random.default_rng(0)
+    x_train, y_train = make_blob_problem(600, rng)
+    x_test, y_test = make_blob_problem(100, rng)
+    net_rng = np.random.default_rng(1)
+    network = Network(
+        [Flatten(), Dense(36, 48, net_rng), ReLU(), Dense(48, 10, net_rng)], (1, 6, 6)
+    )
+    fit(
+        network,
+        Adam(network.parameters(), lr=5e-3),
+        x_train,
+        y_train,
+        TrainConfig(epochs=30, batch_size=64),
+        np.random.default_rng(2),
+    )
+    assert network.accuracy(x_test, y_test) > 0.95
+    return network, x_test, y_test
+
+
+@pytest.fixture(scope="session")
+def tiny_correct(tiny_model):
+    """Test examples the tiny model classifies correctly."""
+    network, x_test, y_test = tiny_model
+    mask = network.predict(x_test) == y_test
+    return network, x_test[mask], y_test[mask]

@@ -1,0 +1,77 @@
+"""Tests for the logit characterisation study (Sec. 3 / Fig. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import fig1_rows, format_fig1, logit_statistics, separation_summary
+
+
+class TestLogitStatistics:
+    def test_known_values(self):
+        logits = np.array([[1.0, 5.0, 2.0]])
+        stats = logit_statistics(logits)
+        assert stats["max"][0] == 5.0
+        assert stats["margin"][0] == 3.0
+        assert stats["argmax"][0] == 1
+
+    def test_entropy_bounds(self):
+        uniform = logit_statistics(np.zeros((1, 10)))
+        peaked = logit_statistics(np.array([[100.0] + [0.0] * 9]))
+        assert uniform["entropy"][0] == pytest.approx(np.log(10), abs=1e-6)
+        assert peaked["entropy"][0] < 1e-6
+
+    @given(hnp.arrays(np.float64, (4, 10), elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, logits):
+        stats = logit_statistics(logits)
+        assert (stats["margin"] >= 0).all()
+        assert (stats["entropy"] >= -1e-9).all()
+        assert (stats["entropy"] <= np.log(10) + 1e-9).all()
+        np.testing.assert_array_equal(stats["argmax"], logits.argmax(axis=1))
+        # Shifting all logits by a constant changes max but not margin/entropy.
+        shifted = logit_statistics(logits + 7.0)
+        np.testing.assert_allclose(shifted["margin"], stats["margin"], atol=1e-9)
+        np.testing.assert_allclose(shifted["entropy"], stats["entropy"], atol=1e-6)
+
+
+class TestSeparationSummary:
+    def test_perfectly_separated(self):
+        benign = np.zeros((50, 10))
+        benign[:, 0] = 20.0  # huge margin
+        adversarial = np.zeros((50, 10))
+        adversarial[:, 1] = 0.1  # tiny margin
+        summary = separation_summary(benign, adversarial)
+        assert summary["margin_auc"] == 1.0
+        assert summary["benign_mean_margin"] > summary["adversarial_mean_margin"]
+        assert summary["benign_mean_entropy"] < summary["adversarial_mean_entropy"]
+
+    def test_identical_populations_auc_half(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(100, 10))
+        summary = separation_summary(logits, logits)
+        assert summary["margin_auc"] == pytest.approx(0.5, abs=0.01)
+
+
+class TestFig1:
+    def test_rows_structure(self, tiny_correct):
+        network, x, y = tiny_correct
+        adversarials = x[1:4]  # stand-ins
+        rows = fig1_rows(network, x[0], int(y[0]), adversarials)
+        assert len(rows) == 4
+        assert rows[0].is_benign
+        assert rows[0].noise_l2 == 0.0
+        assert all(not row.is_benign for row in rows[1:])
+        assert all(row.noise_l2 > 0 for row in rows[1:])
+
+    def test_format_marks_maximum(self, tiny_correct):
+        network, x, y = tiny_correct
+        rows = fig1_rows(network, x[0], int(y[0]), x[1:2])
+        text = format_fig1(rows)
+        assert "*" in text
+        assert "benign" in text and "adv" in text
+        # One marked maximum per logit row.
+        for line in text.splitlines()[1:]:
+            assert line.count("*") == 1

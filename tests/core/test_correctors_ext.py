@@ -1,0 +1,89 @@
+"""Tests for the alternative correctors and the margin-threshold baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CarliniWagnerL2
+from repro.core import (
+    Corrector,
+    GaussianCorrector,
+    IterativeCorrector,
+    MarginThresholdDetector,
+    SoftVoteCorrector,
+)
+
+
+@pytest.fixture(scope="module")
+def cw_examples(tiny_correct):
+    network, x, y = tiny_correct
+    targets = (y[:10] + 1) % 10
+    attack = CarliniWagnerL2(binary_search_steps=3, max_iterations=100)
+    result = attack.perturb(network, x[:10], y[:10], targets)
+    return network, x[:10], y[:10], result
+
+
+ALL_CORRECTORS = [SoftVoteCorrector, GaussianCorrector, IterativeCorrector]
+
+
+class TestAlternativeCorrectors:
+    @pytest.mark.parametrize("corrector_cls", ALL_CORRECTORS)
+    def test_recovers_adversarial_labels(self, corrector_cls, cw_examples):
+        network, x, y, result = cw_examples
+        corrector = corrector_cls(network, radius=0.25, samples=50, seed=0)
+        ok = result.success
+        recovered = corrector.correct(result.adversarial[ok])
+        assert (recovered == y[ok]).mean() > 0.5
+
+    @pytest.mark.parametrize("corrector_cls", ALL_CORRECTORS)
+    def test_stable_on_benign(self, corrector_cls, tiny_correct):
+        network, x, y = tiny_correct
+        corrector = corrector_cls(network, radius=0.1, samples=40, seed=1)
+        assert (corrector.correct(x[:15]) == y[:15]).mean() > 0.8
+
+    @pytest.mark.parametrize("corrector_cls", ALL_CORRECTORS + [Corrector])
+    def test_empty_batch(self, corrector_cls, tiny_correct):
+        network, x, _ = tiny_correct
+        corrector = corrector_cls(network, radius=0.1)
+        assert corrector.correct(x[:0]).shape == (0,)
+
+    @pytest.mark.parametrize("corrector_cls", ALL_CORRECTORS)
+    def test_invalid_samples(self, corrector_cls, tiny_correct):
+        network, _, _ = tiny_correct
+        with pytest.raises(ValueError):
+            corrector_cls(network, radius=0.1, samples=0)
+
+    def test_gaussian_sigma_default(self, tiny_correct):
+        network, _, _ = tiny_correct
+        corrector = GaussianCorrector(network, radius=0.3)
+        assert corrector.sigma == pytest.approx(0.3 / np.sqrt(3))
+
+
+class TestMarginThresholdDetector:
+    def test_calibration_bounds_benign_flags(self, tiny_correct):
+        network, x, _ = tiny_correct
+        detector = MarginThresholdDetector()
+        logits = network.logits(x)
+        detector.calibrate(logits, false_negative_rate=0.1)
+        assert detector.is_adversarial(logits).mean() <= 0.12
+
+    def test_detects_small_margin_inputs(self, cw_examples):
+        network, x, y, result = cw_examples
+        detector = MarginThresholdDetector()
+        detector.calibrate(network.logits(x), false_negative_rate=0.05)
+        adv_logits = network.logits(result.adversarial[result.success])
+        # CW-0 adversarials end right at the boundary: tiny margins.
+        assert detector.is_adversarial(adv_logits).mean() > 0.8
+
+    def test_error_rates_contract(self, tiny_correct):
+        network, x, _ = tiny_correct
+        detector = MarginThresholdDetector(threshold=1e9)  # flags everything
+        logits = network.logits(x[:10])
+        rates = detector.error_rates(logits, logits)
+        assert rates["false_negative"] == 1.0
+        assert rates["false_positive"] == 0.0
+
+    def test_flag_images_path(self, tiny_correct):
+        network, x, _ = tiny_correct
+        detector = MarginThresholdDetector(threshold=0.0)
+        flags = detector.flag_images(network, x[:5])
+        assert flags.shape == (5,)

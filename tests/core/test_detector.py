@@ -1,0 +1,95 @@
+"""Unit tests for the logit detector (synthetic logit populations)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADVERSARIAL, BENIGN, LogitDetector, build_detector_network
+from repro.nn import Adam, TrainConfig, fit
+
+
+def synthetic_logits(n, rng, kind):
+    """Benign-like logits (confident winner) or adversarial-like (tight race)."""
+    logits = rng.normal(0.0, 1.0, size=(n, 10))
+    winners = rng.integers(0, 10, size=n)
+    if kind == "benign":
+        logits[np.arange(n), winners] += rng.uniform(8.0, 15.0, size=n)
+    else:
+        runner_up = (winners + rng.integers(1, 10, size=n)) % 10
+        boost = rng.uniform(3.0, 5.0, size=n)
+        logits[np.arange(n), runner_up] += boost
+        logits[np.arange(n), winners] += boost + rng.uniform(0.1, 0.8, size=n)
+    return logits
+
+
+@pytest.fixture(scope="module")
+def trained_detector():
+    rng = np.random.default_rng(0)
+    benign = synthetic_logits(400, rng, "benign")
+    adversarial = synthetic_logits(400, rng, "adversarial")
+    features = np.concatenate([benign, adversarial])
+    labels = np.concatenate([np.full(400, BENIGN), np.full(400, ADVERSARIAL)])
+    network = build_detector_network()
+    fit(
+        network,
+        Adam(network.parameters(), lr=1e-2),
+        features,
+        labels,
+        TrainConfig(epochs=60, batch_size=64),
+        np.random.default_rng(1),
+    )
+    # Trained on raw features, so disable the default sorting preprocessor.
+    return LogitDetector(network, sort_features=False)
+
+
+class TestArchitecture:
+    def test_two_layer_shape(self):
+        network = build_detector_network(num_classes=10, hidden=32)
+        assert network.input_shape == (10,)
+        assert network.num_classes == 2
+        # 2 Dense layers as the paper specifies.
+        from repro.nn import Dense
+
+        dense = [l for l in network.layers if isinstance(l, Dense)]
+        assert len(dense) == 2
+
+    def test_is_lightweight(self):
+        network = build_detector_network()
+        assert network.num_parameters() < 1000
+
+
+class TestDetection:
+    def test_separates_populations(self, trained_detector):
+        rng = np.random.default_rng(2)
+        benign = synthetic_logits(200, rng, "benign")
+        adversarial = synthetic_logits(200, rng, "adversarial")
+        assert trained_detector.is_adversarial(benign).mean() < 0.1
+        assert trained_detector.is_adversarial(adversarial).mean() > 0.9
+
+    def test_scores_shape(self, trained_detector):
+        scores = trained_detector.scores(np.zeros((5, 10)))
+        assert scores.shape == (5, 2)
+
+    def test_error_rates_follow_paper_naming(self, trained_detector):
+        rng = np.random.default_rng(3)
+        benign = synthetic_logits(100, rng, "benign")
+        adversarial = synthetic_logits(100, rng, "adversarial")
+        rates = trained_detector.error_rates(benign, adversarial)
+        # Paper naming: false_negative = benign flagged, false_positive =
+        # adversarial missed.
+        flagged_benign = trained_detector.is_adversarial(benign).mean()
+        missed_adv = 1.0 - trained_detector.is_adversarial(adversarial).mean()
+        assert rates["false_negative"] == pytest.approx(flagged_benign)
+        assert rates["false_positive"] == pytest.approx(missed_adv)
+
+    def test_error_rates_empty_inputs(self, trained_detector):
+        rates = trained_detector.error_rates(np.zeros((0, 10)), np.zeros((0, 10)))
+        assert rates == {"false_negative": 0.0, "false_positive": 0.0}
+
+    def test_flag_images_consistent(self, trained_detector, tiny_correct):
+        network, x, _ = tiny_correct
+        direct = trained_detector.is_adversarial(network.logits(x[:10]))
+        via_images = trained_detector.flag_images(network, x[:10])
+        np.testing.assert_array_equal(direct, via_images)
+
+    def test_default_train_indices_empty(self, trained_detector):
+        assert trained_detector.train_seed_indices.size == 0

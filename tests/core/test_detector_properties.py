@@ -1,0 +1,69 @@
+"""Property tests on detector components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import LogitDetector, MarginThresholdDetector, build_detector_network
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return LogitDetector(build_detector_network(), sort_features=True)
+
+
+class TestSortedDetectorProperties:
+    @given(
+        hnp.arrays(np.float64, (4, 10), elements=st.floats(-30, 30, **finite)),
+        st.permutations(list(range(10))),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_invariance(self, logits, permutation):
+        """Sorting makes the detector invariant to class relabelling."""
+        net = build_detector_network()
+        det = LogitDetector(net, sort_features=True)
+        original = det.scores(logits)
+        permuted = det.scores(logits[:, permutation])
+        np.testing.assert_allclose(original, permuted, atol=1e-9)
+
+    @given(hnp.arrays(np.float64, (3, 10), elements=st.floats(-30, 30, **finite)))
+    @settings(max_examples=50, deadline=None)
+    def test_decision_consistent_with_scores(self, logits):
+        net = build_detector_network()
+        det = LogitDetector(net, sort_features=True)
+        scores = det.scores(logits)
+        np.testing.assert_array_equal(det.is_adversarial(logits), scores[:, 1] > scores[:, 0])
+
+
+class TestMarginDetectorProperties:
+    @given(
+        hnp.arrays(np.float64, (5, 10), elements=st.floats(-30, 30, **finite)),
+        st.floats(-10, 10, **finite),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shift_invariance(self, logits, shift):
+        det = MarginThresholdDetector(threshold=1.0)
+        np.testing.assert_array_equal(
+            det.is_adversarial(logits), det.is_adversarial(logits + shift)
+        )
+
+    @given(hnp.arrays(np.float64, (5, 10), elements=st.floats(-30, 30, **finite)))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_threshold(self, logits):
+        loose = MarginThresholdDetector(threshold=0.5).is_adversarial(logits)
+        strict = MarginThresholdDetector(threshold=2.0).is_adversarial(logits)
+        # A larger threshold can only flag more inputs.
+        assert (strict | ~loose).all() or (loose <= strict).all()
+
+    def test_calibration_quantile_property(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(400, 10)) * 5
+        det = MarginThresholdDetector()
+        for rate in (0.01, 0.05, 0.2):
+            det.calibrate(logits, false_negative_rate=rate)
+            flagged = det.is_adversarial(logits).mean()
+            assert flagged <= rate + 0.01

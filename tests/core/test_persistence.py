@@ -1,0 +1,67 @@
+"""Tests for DCN save/load bundles."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCN, Corrector, LogitDetector, build_detector_network, load_dcn, save_dcn
+
+
+@pytest.fixture
+def small_dcn(tiny_correct):
+    network, x, _ = tiny_correct
+    detector = LogitDetector(
+        build_detector_network(hidden=16),
+        train_seed_indices=np.array([3, 7, 9]),
+        sort_features=False,
+    )
+    corrector = Corrector(network, radius=0.17, samples=42)
+    return DCN(network, detector, corrector), x
+
+
+class TestRoundtrip:
+    def test_configuration_preserved(self, small_dcn, tmp_path):
+        dcn, _ = small_dcn
+        path = tmp_path / "dcn.npz"
+        save_dcn(dcn, path)
+        loaded = load_dcn(dcn.network, path)
+        assert loaded.corrector.radius == 0.17
+        assert loaded.corrector.samples == 42
+        assert loaded.detector.sort_features is False
+        np.testing.assert_array_equal(loaded.detector.train_seed_indices, [3, 7, 9])
+
+    def test_detector_weights_preserved(self, small_dcn, tmp_path):
+        dcn, x = small_dcn
+        path = tmp_path / "dcn.npz"
+        save_dcn(dcn, path)
+        loaded = load_dcn(dcn.network, path)
+        logits = dcn.network.logits(x[:8])
+        np.testing.assert_allclose(loaded.detector.scores(logits), dcn.detector.scores(logits))
+
+    def test_hidden_width_recovered(self, small_dcn, tmp_path):
+        dcn, _ = small_dcn
+        path = tmp_path / "dcn.npz"
+        save_dcn(dcn, path)
+        loaded = load_dcn(dcn.network, path)
+        assert loaded.detector.network.num_parameters() == dcn.detector.network.num_parameters()
+
+    def test_classification_identical(self, small_dcn, tmp_path):
+        dcn, x = small_dcn
+        path = tmp_path / "dcn.npz"
+        save_dcn(dcn, path)
+        loaded = load_dcn(dcn.network, path)
+        # Detector decisions (deterministic part) must agree exactly.
+        logits = dcn.network.logits(x[:20])
+        np.testing.assert_array_equal(
+            loaded.detector.is_adversarial(logits), dcn.detector.is_adversarial(logits)
+        )
+
+    def test_version_check(self, small_dcn, tmp_path):
+        dcn, _ = small_dcn
+        path = tmp_path / "dcn.npz"
+        save_dcn(dcn, path)
+        with np.load(path) as archive:
+            data = {k: archive[k] for k in archive.files}
+        data["format_version"] = np.array(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_dcn(dcn.network, path)

@@ -1,0 +1,104 @@
+"""Tests for the Dataset container and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_CONFIGS, Dataset, PIXEL_MAX, PIXEL_MIN, corrector_radius
+from repro.datasets.registry import DatasetConfig
+
+
+def _toy_dataset(n_train=20, n_test=10, shape=(1, 4, 4), seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        name="toy",
+        x_train=rng.uniform(PIXEL_MIN, PIXEL_MAX, size=(n_train,) + shape),
+        y_train=rng.integers(0, 10, n_train),
+        x_test=rng.uniform(PIXEL_MIN, PIXEL_MAX, size=(n_test,) + shape),
+        y_test=rng.integers(0, 10, n_test),
+    )
+
+
+class TestDataset:
+    def test_properties(self):
+        ds = _toy_dataset()
+        assert ds.input_shape == (1, 4, 4)
+        assert ds.num_classes <= 10
+
+    def test_rejects_length_mismatch(self):
+        ds = _toy_dataset()
+        with pytest.raises(ValueError, match="labels"):
+            Dataset("bad", ds.x_train, ds.y_train[:-1], ds.x_test, ds.y_test)
+
+    def test_rejects_out_of_box_pixels(self):
+        ds = _toy_dataset()
+        bad = ds.x_train.copy()
+        bad[0, 0, 0, 0] = 1.5
+        with pytest.raises(ValueError, match="pixel"):
+            Dataset("bad", bad, ds.y_train, ds.x_test, ds.y_test)
+
+    def test_rejects_non_nchw(self):
+        ds = _toy_dataset()
+        with pytest.raises(ValueError, match="NCHW"):
+            Dataset("bad", ds.x_train.reshape(20, -1), ds.y_train, ds.x_test, ds.y_test)
+
+    def test_sample_test_no_replacement(self):
+        ds = _toy_dataset(n_test=10)
+        _, _, idx = ds.sample_test(10, np.random.default_rng(0))
+        assert len(set(idx)) == 10
+
+    def test_sample_test_exclusion(self):
+        ds = _toy_dataset(n_test=10)
+        exclude = np.arange(5)
+        _, _, idx = ds.sample_test(5, np.random.default_rng(0), exclude=exclude)
+        assert set(idx).isdisjoint(set(exclude))
+
+    def test_sample_test_overdraw_raises(self):
+        ds = _toy_dataset(n_test=10)
+        with pytest.raises(ValueError):
+            ds.sample_test(11, np.random.default_rng(0))
+
+
+class TestRegistry:
+    def test_expected_configs_present(self):
+        assert {"mnist-like", "cifar-like", "mnist-fast", "cifar-fast"} <= set(DATASET_CONFIGS)
+
+    def test_channels_follow_family(self):
+        assert DATASET_CONFIGS["mnist-like"].channels == 1
+        assert DATASET_CONFIGS["cifar-like"].channels == 3
+
+    def test_corrector_radius_follows_paper(self):
+        # Paper Sec. 5.1: r = 0.3 for MNIST, r = 0.02 for CIFAR-10.
+        assert corrector_radius("mnist-like") == 0.3
+        assert corrector_radius("mnist-fast") == 0.3
+        assert corrector_radius("cifar-like") == 0.02
+        assert corrector_radius("cifar-fast") == 0.02
+
+    def test_unknown_dataset_raises(self):
+        from repro.datasets import load_dataset
+
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+
+class TestBuiltDataset:
+    """Build the small fast datasets end-to-end (cached after first run)."""
+
+    def test_mnist_fast_contents(self):
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("mnist-fast")
+        config = DATASET_CONFIGS["mnist-fast"]
+        assert ds.x_train.shape == (config.train_size, 1, config.image_size, config.image_size)
+        assert ds.x_test.shape[0] == config.test_size
+        assert ds.x_train.min() >= PIXEL_MIN and ds.x_train.max() <= PIXEL_MAX
+        assert ds.num_classes == 10
+        # Roughly balanced labels.
+        counts = np.bincount(ds.y_train, minlength=10)
+        assert counts.min() > config.train_size / 10 * 0.6
+
+    def test_cache_is_deterministic(self):
+        from repro.datasets import load_dataset
+
+        a = load_dataset("mnist-fast")
+        b = load_dataset("mnist-fast")
+        np.testing.assert_array_equal(a.x_test, b.x_test)

@@ -1,0 +1,90 @@
+"""Tests for the procedural digit and object generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CLASS_NAMES,
+    generate_digits,
+    generate_objects,
+    render_digit,
+    render_object,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDigits:
+    def test_shape_and_range(self, rng):
+        img = render_digit(3, rng, size=20)
+        assert img.shape == (20, 20)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_has_ink(self, rng):
+        for digit in range(10):
+            img = render_digit(digit, rng, size=16)
+            assert img.max() > 0.5, f"digit {digit} rendered blank"
+            # Strokes should cover a minority of the canvas.
+            assert (img > 0.5).mean() < 0.5
+
+    def test_invalid_digit(self, rng):
+        with pytest.raises(ValueError):
+            render_digit(10, rng)
+
+    def test_randomised_instances_differ(self, rng):
+        a = render_digit(5, rng, size=16)
+        b = render_digit(5, rng, size=16)
+        assert not np.allclose(a, b)
+
+    def test_batch_generation(self, rng):
+        x, y = generate_digits(30, rng, size=12)
+        assert x.shape == (30, 1, 12, 12)
+        assert y.shape == (30,)
+        assert set(np.unique(y)).issubset(set(range(10)))
+
+    def test_deterministic_given_seed(self):
+        x1, y1 = generate_digits(5, np.random.default_rng(42), size=12)
+        x2, y2 = generate_digits(5, np.random.default_rng(42), size=12)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+
+class TestObjects:
+    def test_shape_and_range(self, rng):
+        img = render_object(0, rng, size=24)
+        assert img.shape == (3, 24, 24)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_all_classes_render(self, rng):
+        for label in range(len(CLASS_NAMES)):
+            img = render_object(label, rng, size=16)
+            assert np.isfinite(img).all()
+            # Object should create contrast against the background.
+            assert img.std() > 0.05
+
+    def test_invalid_label(self, rng):
+        with pytest.raises(ValueError):
+            render_object(10, rng)
+
+    def test_batch_generation(self, rng):
+        x, y = generate_objects(20, rng, size=16)
+        assert x.shape == (20, 3, 16, 16)
+        assert set(np.unique(y)).issubset(set(range(10)))
+
+    def test_oriented_classes_differ(self):
+        # hbars (5) and vbars (6) must not be the same distribution: their
+        # horizontal/vertical variance profiles should differ on average.
+        rng = np.random.default_rng(7)
+        def orientation_score(label):
+            scores = []
+            for _ in range(20):
+                img = render_object(label, rng, size=16).mean(axis=0)
+                scores.append(img.var(axis=0).mean() - img.var(axis=1).mean())
+            return np.mean(scores)
+
+        h_score = orientation_score(CLASS_NAMES.index("hbars"))
+        v_score = orientation_score(CLASS_NAMES.index("vbars"))
+        assert h_score != pytest.approx(v_score, abs=1e-4)

@@ -1,0 +1,59 @@
+"""Hypothesis property tests on the dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import render_digit, render_object
+from repro.datasets.digits import DIGIT_STROKES
+
+
+class TestDigitProperties:
+    @given(st.integers(0, 9), st.integers(0, 10_000), st.sampled_from([12, 16, 20]))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_image(self, digit, seed, size):
+        rng = np.random.default_rng(seed)
+        image = render_digit(digit, rng, size=size)
+        assert image.shape == (size, size)
+        assert np.isfinite(image).all()
+        assert image.min() >= 0.0 and image.max() <= 1.0
+        # Some ink, but never a fully saturated canvas.
+        assert 0.02 < (image > 0.4).mean() < 0.6
+
+    @given(st.integers(0, 9), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_per_seed(self, digit, seed):
+        a = render_digit(digit, np.random.default_rng(seed), size=12)
+        b = render_digit(digit, np.random.default_rng(seed), size=12)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stroke_skeletons_inside_unit_box(self):
+        for digit, strokes in DIGIT_STROKES.items():
+            for stroke in strokes:
+                assert stroke.min() >= 0.0, digit
+                assert stroke.max() <= 1.0, digit
+
+    def test_every_digit_has_strokes(self):
+        assert set(DIGIT_STROKES) == set(range(10))
+        for strokes in DIGIT_STROKES.values():
+            assert all(len(stroke) >= 2 for stroke in strokes)
+
+
+class TestObjectProperties:
+    @given(st.integers(0, 9), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_image(self, label, seed):
+        rng = np.random.default_rng(seed)
+        image = render_object(label, rng, size=16)
+        assert image.shape == (3, 16, 16)
+        assert np.isfinite(image).all()
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    @given(st.integers(0, 9), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_foreground_contrast(self, label, seed):
+        rng = np.random.default_rng(seed)
+        image = render_object(label, rng, size=16, noise=0.0)
+        # The rendered object must create measurable structure.
+        assert image.std() > 0.03

@@ -1,0 +1,56 @@
+"""Tests for defensive distillation (trained at reduced scale)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, load_dataset
+from repro.defenses import StandardClassifier, train_distilled
+from repro.zoo import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def small_slice():
+    """A reduced mnist-fast slice so distillation trains in seconds."""
+    ds = load_dataset("mnist-fast")
+    return Dataset(
+        name="mnist-fast-slice",
+        x_train=ds.x_train[:500],
+        y_train=ds.y_train[:500],
+        x_test=ds.x_test[:200],
+        y_test=ds.y_test[:200],
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ModelConfig("cnn-tiny", conv_channels=(6,), dense_units=(32,), epochs=8, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def distilled(small_slice, tiny_config):
+    return train_distilled(small_slice, tiny_config, temperature=20.0, cache=False)
+
+
+class TestDistillation:
+    def test_student_learns(self, distilled, small_slice):
+        accuracy = (distilled.classify(small_slice.x_test) == small_slice.y_test).mean()
+        assert accuracy > 0.7
+
+    def test_name_and_temperature(self, distilled):
+        assert distilled.name == "distillation"
+        assert distilled.temperature == 20.0
+
+    def test_student_logits_scaled_up(self, distilled, small_slice):
+        # Training at temperature T makes the student's T=1 logits roughly T
+        # times larger than normal — the effect that squashes the softmax
+        # gradients defensive distillation relies on.
+        logits = distilled.network.logits(small_slice.x_test[:50])
+        assert np.abs(logits).max() > 20.0
+
+
+class TestStandardClassifier:
+    def test_matches_network_predict(self, tiny_correct):
+        network, x, _ = tiny_correct
+        clf = StandardClassifier(network)
+        np.testing.assert_array_equal(clf.classify(x[:10]), network.predict(x[:10]))
+        assert clf.name == "standard"

@@ -1,0 +1,96 @@
+"""Tests for the MagNet and adversarial-training extensions."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM
+from repro.datasets import Dataset, load_dataset
+from repro.defenses import MagNet, train_adversarial, train_autoencoder
+from repro.defenses.magnet import build_autoencoder
+from repro.zoo import ModelConfig, load_model
+
+
+@pytest.fixture(scope="module")
+def small_slice():
+    ds = load_dataset("mnist-fast")
+    return Dataset(
+        name="mnist-fast-slice2",
+        x_train=ds.x_train[:600],
+        y_train=ds.y_train[:600],
+        x_test=ds.x_test[:200],
+        y_test=ds.y_test[:200],
+    )
+
+
+@pytest.fixture(scope="module")
+def mnist_model():
+    ds = load_dataset("mnist-fast")
+    return ds, load_model(ds)
+
+
+class TestAutoencoder:
+    def test_output_in_box(self, small_slice):
+        ae = build_autoencoder(small_slice.input_shape)
+        out = ae.logits(small_slice.x_test[:4]) * 0.5
+        assert out.min() >= -0.5 and out.max() <= 0.5
+
+    def test_reconstruction_improves_with_training(self, small_slice):
+        untrained = build_autoencoder(small_slice.input_shape)
+        trained = train_autoencoder(small_slice, epochs=15, cache=False)
+        x = small_slice.x_test[:50]
+        flat = x.reshape(50, -1)
+        err_untrained = ((untrained.logits(x) * 0.5 - flat) ** 2).mean()
+        err_trained = ((trained.logits(x) * 0.5 - flat) ** 2).mean()
+        assert err_trained < err_untrained / 2
+
+
+class TestMagNet:
+    @pytest.fixture(scope="class")
+    def magnet(self, mnist_model):
+        ds, model = mnist_model
+        return MagNet.build(model, ds, false_positive_rate=0.05)
+
+    def test_benign_accuracy_preserved(self, magnet, mnist_model):
+        ds, model = mnist_model
+        x, y = ds.x_test[:200], ds.y_test[:200]
+        standard = (model.predict(x) == y).mean()
+        reformed = (magnet.classify(x) == y).mean()
+        assert reformed > standard - 0.10
+
+    def test_benign_flag_rate_calibrated(self, magnet, mnist_model):
+        ds, _ = mnist_model
+        fresh = np.setdiff1d(np.arange(400), magnet.calibration_indices)
+        flagged = magnet.is_adversarial(ds.x_test[fresh])
+        assert flagged.mean() < 0.15
+
+    def test_reconstruction_error_nonnegative(self, magnet, mnist_model):
+        ds, _ = mnist_model
+        errors = magnet.reconstruction_error(ds.x_test[:20])
+        assert (errors >= 0).all()
+
+    def test_reform_stays_in_box(self, magnet, mnist_model):
+        ds, _ = mnist_model
+        out = magnet.reform(ds.x_test[:10])
+        assert out.min() >= -0.5 and out.max() <= 0.5
+        assert out.shape == ds.x_test[:10].shape
+
+
+class TestAdversarialTraining:
+    @pytest.fixture(scope="class")
+    def hardened(self, small_slice):
+        config = ModelConfig("cnn-tiny-at", conv_channels=(6,), dense_units=(32,), epochs=10, dropout=0.0, learning_rate=2e-3)
+        return train_adversarial(small_slice, config, epsilon=0.1, cache=False)
+
+    def test_clean_accuracy_reasonable(self, hardened, small_slice):
+        accuracy = (hardened.classify(small_slice.x_test) == small_slice.y_test).mean()
+        assert accuracy > 0.7
+
+    def test_more_robust_to_fgsm_than_standard(self, hardened, small_slice, mnist_model):
+        _, standard_model = mnist_model
+        x, y = small_slice.x_test[:60], small_slice.y_test[:60]
+        eps = 0.1
+        hardened_result = FGSM(epsilon=eps).perturb(hardened.network, x, y)
+        standard_result = FGSM(epsilon=eps).perturb(standard_model, x, y)
+        # White-box FGSM at the training epsilon hurts the hardened model
+        # less than it hurts the standard one.
+        assert hardened_result.success_rate < standard_result.success_rate + 0.05

@@ -1,0 +1,68 @@
+"""Tests for feature squeezing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import PIXEL_MAX, PIXEL_MIN
+from repro.defenses import FeatureSqueezingDetector, median_smooth, reduce_bit_depth
+
+
+class TestBitDepth:
+    def test_one_bit_binarises(self):
+        x = np.linspace(PIXEL_MIN, PIXEL_MAX, 11).reshape(1, 1, 1, 11)
+        out = reduce_bit_depth(x, 1)
+        assert set(np.unique(out)) <= {PIXEL_MIN, PIXEL_MAX}
+
+    def test_level_count(self):
+        x = np.linspace(PIXEL_MIN, PIXEL_MAX, 1000).reshape(1, 1, 10, 100)
+        out = reduce_bit_depth(x, 3)
+        assert len(np.unique(out)) == 2**3
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(PIXEL_MIN, PIXEL_MAX, size=(2, 1, 4, 4))
+        once = reduce_bit_depth(x, 4)
+        np.testing.assert_allclose(reduce_bit_depth(once, 4), once, atol=1e-12)
+
+    def test_stays_in_box(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(PIXEL_MIN, PIXEL_MAX, size=(2, 3, 4, 4))
+        out = reduce_bit_depth(x, 2)
+        assert out.min() >= PIXEL_MIN and out.max() <= PIXEL_MAX
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            reduce_bit_depth(np.zeros((1, 1, 2, 2)), 0)
+
+
+class TestMedianSmooth:
+    def test_shape_preserved(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        assert median_smooth(x).shape == x.shape
+
+    def test_removes_salt_noise(self):
+        x = np.full((1, 1, 8, 8), PIXEL_MIN)
+        x[0, 0, 4, 4] = PIXEL_MAX  # isolated spike
+        out = median_smooth(x, size=3)
+        assert out[0, 0, 4, 4] == PIXEL_MIN
+
+    def test_constant_image_unchanged(self):
+        x = np.full((1, 2, 6, 6), 0.25)
+        np.testing.assert_array_equal(median_smooth(x), x)
+
+
+class TestDetector:
+    def test_scores_nonnegative(self, tiny_correct):
+        network, x, _ = tiny_correct
+        detector = FeatureSqueezingDetector(network)
+        scores = detector.scores(x[:10])
+        assert (scores >= 0).all()
+        assert scores.shape == (10,)
+
+    def test_calibrate_sets_quantile_threshold(self, tiny_correct):
+        network, x, _ = tiny_correct
+        detector = FeatureSqueezingDetector(network)
+        threshold = detector.calibrate(x[:50], false_positive_rate=0.1)
+        assert detector.threshold == threshold
+        flagged = detector.is_adversarial(x[:50])
+        assert flagged.mean() <= 0.15

@@ -1,0 +1,109 @@
+"""Tests for adversarial pool construction and the untargeted reduction."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import IGSM
+from repro.datasets import Dataset
+from repro.datasets.dataset import PIXEL_MAX, PIXEL_MIN
+from repro.eval import TargetedPool, select_correct_seeds, untargeted_from_pool
+from repro.eval.adversarial_sets import _all_wrong_classes, build_targeted_pool
+from tests.conftest import make_blob_problem
+
+
+@pytest.fixture(scope="module")
+def blob_dataset(tiny_model):
+    network, x_test, y_test = tiny_model
+    rng = np.random.default_rng(10)
+    x_train, y_train = make_blob_problem(50, rng)
+    return Dataset("blob", x_train, y_train, x_test, y_test)
+
+
+class TestSelectCorrectSeeds:
+    def test_only_correct_examples(self, tiny_model, blob_dataset):
+        network, _, _ = tiny_model
+        x, y, idx = select_correct_seeds(network, blob_dataset, 20, np.random.default_rng(0))
+        np.testing.assert_array_equal(network.predict(x), y)
+
+    def test_exclusion_respected(self, tiny_model, blob_dataset):
+        network, _, _ = tiny_model
+        exclude = np.arange(40)
+        _, _, idx = select_correct_seeds(
+            network, blob_dataset, 10, np.random.default_rng(0), exclude=exclude
+        )
+        assert set(idx).isdisjoint(set(exclude))
+
+    def test_overdraw_raises(self, tiny_model, blob_dataset):
+        network, _, _ = tiny_model
+        with pytest.raises(ValueError):
+            select_correct_seeds(network, blob_dataset, 10_000, np.random.default_rng(0))
+
+
+class TestAllWrongClasses:
+    def test_nine_targets_per_label(self):
+        targets = _all_wrong_classes(np.array([3, 7]), 10)
+        assert len(targets) == 18
+        assert 3 not in targets[:9]
+        assert 7 not in targets[9:]
+        assert sorted(targets[:9]) == [0, 1, 2, 4, 5, 6, 7, 8, 9]
+
+
+class TestBuildTargetedPool:
+    @pytest.fixture(scope="class")
+    def pool(self, tiny_model, blob_dataset):
+        network, _, _ = tiny_model
+        return build_targeted_pool(
+            network, blob_dataset, "igsm", num_seeds=5, seed=1,
+            attack_overrides={"epsilon": 0.4, "alpha": 0.05, "steps": 12}, cache=False,
+        )
+
+    def test_layout(self, pool):
+        assert pool.num_seeds == 5
+        assert pool.targets_per_seed == 9
+        assert len(pool.adversarial) == 45
+        assert len(pool.tiled_seeds) == 45
+        np.testing.assert_array_equal(pool.tiled_labels[:9], np.repeat(pool.seed_labels[:1], 9))
+
+    def test_successful_accessor(self, pool):
+        adv, labels, targets = pool.successful()
+        assert len(adv) == pool.success.sum()
+        assert (labels != targets).all()
+
+    def test_adversarials_in_box(self, pool):
+        assert pool.adversarial.min() >= PIXEL_MIN - 1e-9
+        assert pool.adversarial.max() <= PIXEL_MAX + 1e-9
+
+
+class TestUntargetedFromPool:
+    def test_reduction_semantics(self, tiny_model, blob_dataset):
+        network, _, _ = tiny_model
+        pool = build_targeted_pool(
+            network, blob_dataset, "igsm", num_seeds=6, seed=2,
+            attack_overrides={"epsilon": 0.4, "alpha": 0.05, "steps": 12}, cache=False,
+        )
+        result = untargeted_from_pool(pool, metric="linf")
+        assert len(result.original) == 6
+        assert result.target_labels is None
+        # Success iff any of the 9 targets succeeded.
+        per_seed = pool.success.reshape(6, 9)
+        np.testing.assert_array_equal(result.success, per_seed.any(axis=1))
+        # Chosen adversarials are actually misclassified.
+        if result.success.any():
+            predicted = network.predict(result.adversarial[result.success])
+            assert (predicted != result.source_labels[result.success]).all()
+
+    def test_synthetic_min_distortion_choice(self):
+        # Handcrafted pool with 1 seed, 2 targets with known distortions.
+        seed_img = np.zeros((1, 1, 2, 2))
+        adv = np.stack([seed_img[0] + 0.5, seed_img[0] + 0.1])
+        pool = TargetedPool(
+            attack_name="stub",
+            seeds=seed_img,
+            seed_labels=np.array([0]),
+            seed_indices=np.array([0]),
+            targets=np.array([1, 2]),
+            adversarial=adv,
+            success=np.array([True, True]),
+        )
+        result = untargeted_from_pool(pool, metric="l2")
+        np.testing.assert_allclose(result.adversarial[0], seed_img[0] + 0.1)

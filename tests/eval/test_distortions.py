@@ -1,0 +1,55 @@
+"""Tests for the pool distortion summaries."""
+
+import numpy as np
+import pytest
+
+from repro.eval import TargetedPool
+from repro.eval.distortions import format_distortion_table, pool_distortion_summary
+
+
+def _pool(success):
+    seeds = np.zeros((2, 1, 2, 2))
+    adversarial = np.zeros((4, 1, 2, 2))
+    adversarial[0, 0, 0, 0] = 0.3
+    adversarial[1] += 0.1
+    adversarial[2, 0, 1, 1] = -0.2
+    return TargetedPool(
+        attack_name="stub",
+        seeds=seeds,
+        seed_labels=np.array([0, 1]),
+        seed_indices=np.array([0, 1]),
+        targets=np.array([1, 2, 0, 2]),
+        adversarial=adversarial,
+        success=np.asarray(success),
+    )
+
+
+class TestSummary:
+    def test_counts_only_successes(self):
+        summary = pool_distortion_summary(_pool([True, True, False, False]))
+        assert summary["l2"]["count"] == 2
+
+    def test_values(self):
+        summary = pool_distortion_summary(_pool([True, False, False, False]))
+        assert summary["linf"]["mean"] == pytest.approx(0.3)
+        assert summary["l0"]["mean"] == 1.0
+
+    def test_empty_pool_nan(self):
+        summary = pool_distortion_summary(_pool([False, False, False, False]))
+        assert np.isnan(summary["l2"]["mean"])
+        assert summary["l2"]["count"] == 0
+
+    def test_median_max(self):
+        summary = pool_distortion_summary(_pool([True, False, True, False]))
+        assert summary["linf"]["max"] == pytest.approx(0.3)
+        assert summary["linf"]["median"] == pytest.approx(0.25)
+
+
+class TestFormatting:
+    def test_table_structure(self):
+        summary = pool_distortion_summary(_pool([True, True, True, True]))
+        text = format_distortion_table({"cw-l2": summary}, "mnist")
+        assert "DISTORTION" in text
+        assert "cw-l2" in text
+        # One row per metric.
+        assert text.count("cw-l2") == 3

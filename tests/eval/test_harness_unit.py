@@ -1,0 +1,41 @@
+"""Unit tests for ExperimentContext plumbing (no heavy computation)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import build_context, scale_config
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # Uses the cached dataset/model; the lazy defenses are not forced here
+    # except where a test needs them.
+    return build_context("mnist-fast", scale_config("fast"))
+
+
+class TestExperimentContext:
+    def test_defense_order_matches_paper_tables(self, ctx):
+        # Tables 3-5 list: Standard, Distillation, RC, Our DCN.
+        assert list(ctx.defenses().keys()) == ["standard", "distillation", "rc", "dcn"]
+
+    def test_defenses_share_protected_model(self, ctx):
+        assert ctx.standard.network is ctx.model
+        assert ctx.rc.network is ctx.model
+        assert ctx.dcn.network is ctx.model
+
+    def test_rc_uses_paper_m(self, ctx):
+        assert ctx.rc.samples == 1000
+
+    def test_radius_cached_property_stable(self, ctx):
+        assert ctx.radius == ctx.radius
+
+    def test_distilled_is_separate_network(self, ctx):
+        assert ctx.distilled.network is not ctx.model
+
+    def test_pool_reuses_detector_exclusions(self, ctx):
+        pool = ctx.pool("cw-l2")
+        overlap = set(pool.seed_indices) & set(ctx.dcn.detector.train_seed_indices)
+        assert not overlap
+
+    def test_standard_accuracy_sane(self, ctx):
+        assert ctx.model.accuracy(ctx.dataset.x_test[:200], ctx.dataset.y_test[:200]) > 0.95

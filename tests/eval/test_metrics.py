@@ -1,0 +1,69 @@
+"""Tests for evaluation metrics with the paper's semantics."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackResult
+from repro.eval import attack_success_rate, benign_accuracy, recovery_rate
+
+
+class _FixedDefense:
+    """Defense stub returning predetermined labels."""
+
+    name = "stub"
+
+    def __init__(self, labels):
+        self._labels = np.asarray(labels)
+
+    def classify(self, x):
+        return self._labels[: len(x)]
+
+
+def _result(success, sources):
+    n = len(success)
+    original = np.zeros((n, 1, 2, 2))
+    return AttackResult(original, original + 0.1, np.asarray(success), np.asarray(sources))
+
+
+class TestAttackSuccessRate:
+    def test_defense_recovers_everything(self):
+        result = _result([True, True, True, True], [0, 1, 2, 3])
+        defense = _FixedDefense([0, 1, 2, 3])  # all labels recovered
+        assert attack_success_rate(defense, result) == 0.0
+
+    def test_defense_recovers_nothing(self):
+        result = _result([True, True], [0, 1])
+        defense = _FixedDefense([5, 5])
+        assert attack_success_rate(defense, result) == 1.0
+
+    def test_failed_crafting_counts_against_attack(self):
+        # 4 attempts, only 2 crafted; defense misclassifies both crafted ones.
+        result = _result([True, False, True, False], [0, 1, 2, 3])
+        defense = _FixedDefense([9, 9])
+        assert attack_success_rate(defense, result) == 0.5
+
+    def test_empty_result(self):
+        result = _result([], [])
+        assert attack_success_rate(_FixedDefense([]), result) == 0.0
+
+    def test_no_crafted_examples(self):
+        result = _result([False, False], [0, 1])
+        assert attack_success_rate(_FixedDefense([9, 9]), result) == 0.0
+
+
+class TestRecoveryRate:
+    def test_over_crafted_only(self):
+        result = _result([True, False, True], [0, 1, 2])
+        defense = _FixedDefense([0, 9])  # recovers first crafted, misses second
+        assert recovery_rate(defense, result) == 0.5
+
+    def test_nan_without_crafted(self):
+        result = _result([False], [0])
+        assert np.isnan(recovery_rate(_FixedDefense([0]), result))
+
+
+class TestBenignAccuracy:
+    def test_value(self):
+        defense = _FixedDefense([0, 1, 2, 9])
+        x = np.zeros((4, 1, 2, 2))
+        assert benign_accuracy(defense, x, np.array([0, 1, 2, 3])) == 0.75

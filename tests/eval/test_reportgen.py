@@ -1,0 +1,70 @@
+"""Tests for the markdown report generator (rendering logic only)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.eval import PAPER_NUMBERS
+from repro.eval.reportgen import (
+    _pct,
+    _write_fig4,
+    _write_table2,
+    _write_table45,
+    _write_table6,
+)
+
+
+class TestPaperNumbers:
+    def test_table2_values_match_paper(self):
+        assert PAPER_NUMBERS["table2"]["mnist"]["false_negative"] == 0.037
+        assert PAPER_NUMBERS["table2"]["cifar"]["false_positive"] == 0.0091
+
+    def test_table4_headline(self):
+        # Paper: DCN mitigates 99% targeted L2 on MNIST (1.89% residual).
+        assert PAPER_NUMBERS["table4"]["dcn"]["cw-l2"][0] == 0.0189
+        assert PAPER_NUMBERS["table4"]["dcn"]["cw-l2"][1] == 0.0
+
+    def test_all_defenses_cover_all_attacks(self):
+        for which in ("table4", "table5"):
+            for defense, cells in PAPER_NUMBERS[which].items():
+                assert set(cells) == {"cw-l0", "cw-l2", "cw-linf"}, (which, defense)
+
+
+class TestRendering:
+    def test_pct(self):
+        assert _pct(0.037) == "3.70%"
+
+    def test_table2_section(self):
+        out = io.StringIO()
+        rates = {"false_negative": 0.05, "false_positive": 0.01}
+        _write_table2(out, rates, rates)
+        text = out.getvalue()
+        assert "Table 2" in text
+        assert "3.70%" in text  # paper column present
+        assert "5.00%" in text  # measured column present
+
+    def test_table45_section(self):
+        out = io.StringIO()
+        cell = {"targeted": 0.1, "untargeted": 0.05}
+        rows = {
+            defense: {attack: cell for attack in ("cw-l0", "cw-l2", "cw-linf")}
+            for defense in ("standard", "distillation", "rc", "dcn")
+        }
+        _write_table45(out, "table4", rows)
+        text = out.getvalue()
+        assert "Table 4" in text
+        assert "10.00% / 5.00%" in text
+        assert text.count("| dcn |") == 3
+
+    def test_fig4_section(self):
+        out = io.StringIO()
+        _write_fig4(out, [{"m": 50, "recovery_accuracy": 0.96, "seconds": 4.9}])
+        text = out.getvalue()
+        assert "| 50 | 96.00% | 4.90 |" in text
+
+    def test_table6_section(self):
+        out = io.StringIO()
+        _write_table6(out, [{"fraction": 0.5, "dcn_seconds": 2.0, "rc_seconds": 90.0}])
+        text = out.getvalue()
+        assert "| 50% | 2.00 | 90.00 |" in text

@@ -1,0 +1,102 @@
+"""Tests for table formatting, timing helpers, and scale configs."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    format_fig4,
+    format_table2,
+    format_table3,
+    format_table45,
+    format_table6,
+    scale_config,
+    stopwatch,
+    time_defense,
+)
+
+
+class TestFormatting:
+    def test_table2(self):
+        text = format_table2({"mnist": {"false_negative": 0.037, "false_positive": 0.0031}})
+        assert "3.70%" in text
+        assert "0.31%" in text
+        assert "mnist" in text
+
+    def test_table3(self):
+        rows = {
+            "mnist": {
+                name: {"accuracy": 0.99, "seconds": 1.5}
+                for name in ("standard", "distillation", "rc", "dcn")
+            }
+        }
+        text = format_table3(rows)
+        assert "99.00%" in text
+        assert "Distillation" in text and "Our DCN" in text
+
+    def test_table45(self):
+        cells = {"targeted": 1.0, "untargeted": 0.44}
+        rows = {
+            defense: {attack: cells for attack in ("cw-l0", "cw-l2", "cw-linf")}
+            for defense in ("standard", "distillation", "rc", "dcn")
+        }
+        text = format_table45(rows, "mnist")
+        assert "100.00%" in text and "44.00%" in text
+        assert "T-L0" in text and "U-Linf" in text
+
+    def test_table6(self):
+        rows = [{"fraction": 0.5, "dcn_seconds": 1.0, "rc_seconds": 50.0, "dcn_accuracy": 0.9, "rc_accuracy": 0.88}]
+        text = format_table6(rows, "mnist")
+        assert "50" in text and "50.00" in text
+
+    def test_fig4(self):
+        rows = [{"m": 50, "recovery_accuracy": 0.93, "seconds": 0.4}]
+        text = format_fig4(rows, "mnist")
+        assert "50" in text and "93.00%" in text
+
+
+class TestTiming:
+    def test_stopwatch_measures(self):
+        with stopwatch() as held:
+            time.sleep(0.05)
+        assert held[0] >= 0.05
+
+    def test_time_defense(self):
+        class _Defense:
+            name = "d"
+
+            def classify(self, x):
+                time.sleep(0.02)
+                return np.zeros(len(x), dtype=int)
+
+        labels, seconds = time_defense(_Defense(), np.zeros((3, 1, 2, 2)))
+        assert seconds >= 0.02
+        assert labels.shape == (3,)
+
+
+class TestScaleConfig:
+    def test_default_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_config().name == "fast"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert scale_config().name == "paper"
+        assert scale_config().mnist == "mnist-like"
+
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert scale_config("fast").name == "fast"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            scale_config("huge")
+
+    def test_paper_scale_sizes_exceed_fast(self):
+        fast, paper = scale_config("fast"), scale_config("paper")
+        assert paper.robustness_seeds > fast.robustness_seeds
+        assert paper.benign_mnist > fast.benign_mnist
+        # Both keep the paper's m parameters.
+        assert fast.rc_samples == paper.rc_samples == 1000
+        assert fast.corrector_samples == paper.corrector_samples == 50

@@ -1,0 +1,61 @@
+"""Edge cases of Tensor.backward and graph state handling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestBackwardContract:
+    def test_explicit_vector_gradient(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = t * 2.0
+        out.backward(np.array([1.0, 10.0, 100.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 20.0, 200.0])
+
+    def test_gradient_shape_mismatch_rejected(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = t * 2.0
+        with pytest.raises(ValueError, match="shape"):
+            out.backward(np.ones(4))
+
+    def test_repeated_backward_on_new_graphs(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        for i in range(1, 4):
+            (t * float(i)).sum().backward()
+        # Gradients accumulate across graphs until zero_grad.
+        np.testing.assert_allclose(t.grad, [6.0, 6.0])
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_zero_size_leaf_unaffected(self):
+        used = Tensor(np.ones(2), requires_grad=True)
+        unused = Tensor(np.ones(2), requires_grad=True)
+        (used * 3.0).sum().backward()
+        assert unused.grad is None
+
+
+class TestGradModeState:
+    def test_flag_restored_after_exception(self):
+        assert is_grad_enabled()
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                assert not is_grad_enabled()
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_ops_inside_no_grad_produce_constants(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            frozen = ops.tanh(t)
+        live = ops.tanh(t)
+        assert not frozen.requires_grad
+        assert live.requires_grad

@@ -1,0 +1,121 @@
+"""Unit tests for layers: shapes, parameters, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Tanh
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(8, 4, rng)
+        out = layer(Tensor(np.zeros((3, 8))))
+        assert out.shape == (3, 4)
+        assert layer.output_shape((8,)) == (4,)
+
+    def test_parameters(self, rng):
+        layer = Dense(8, 4, rng)
+        params = list(layer.parameters())
+        assert len(params) == 2
+        assert all(p.requires_grad for p in params)
+        assert params[0].shape == (8, 4)
+        assert params[1].shape == (4,)
+
+    def test_bias_starts_zero(self, rng):
+        layer = Dense(8, 4, rng)
+        np.testing.assert_array_equal(layer.params["bias"].data, 0.0)
+
+    def test_linear_in_input(self, rng):
+        layer = Dense(5, 3, rng)
+        x1, x2 = rng.normal(size=(2, 5)), rng.normal(size=(2, 5))
+        out = layer(Tensor(x1 + x2)).data + layer(Tensor(np.zeros((2, 5)))).data
+        np.testing.assert_allclose(out, layer(Tensor(x1)).data + layer(Tensor(x2)).data, atol=1e-12)
+
+    def test_state_roundtrip(self, rng):
+        layer = Dense(8, 4, rng)
+        state = layer.state()
+        other = Dense(8, 4, np.random.default_rng(99))
+        other.load_state(state)
+        np.testing.assert_array_equal(other.params["weight"].data, layer.params["weight"].data)
+
+    def test_load_state_shape_mismatch(self, rng):
+        layer = Dense(8, 4, rng)
+        with pytest.raises(ValueError, match="shape"):
+            layer.load_state({"weight": np.zeros((3, 3)), "bias": np.zeros(4)})
+
+
+class TestConv2D:
+    def test_output_shape_padded(self, rng):
+        layer = Conv2D(3, 8, 3, rng, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 16, 16)
+        assert layer.output_shape((3, 16, 16)) == (8, 16, 16)
+
+    def test_output_shape_stride(self, rng):
+        layer = Conv2D(1, 4, 3, rng, stride=2)
+        assert layer.output_shape((1, 9, 9)) == (4, 4, 4)
+        out = layer(Tensor(np.zeros((1, 1, 9, 9))))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_translation_covariance(self, rng):
+        # Shifting the input by one pixel shifts the (valid interior of the)
+        # output by one pixel for a stride-1, padding-0 conv.
+        layer = Conv2D(1, 2, 3, rng)
+        x = rng.normal(size=(1, 1, 8, 8))
+        shifted = np.roll(x, 1, axis=3)
+        out = layer(Tensor(x)).data
+        out_shifted = layer(Tensor(shifted)).data
+        np.testing.assert_allclose(out_shifted[:, :, :, 2:], out[:, :, :, 1:-1], atol=1e-10)
+
+
+class TestPoolingAndShape:
+    def test_maxpool_shape(self):
+        layer = MaxPool2D(2)
+        out = layer(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 3, 4, 4)
+        assert layer.output_shape((3, 8, 8)) == (3, 4, 4)
+
+    def test_maxpool_no_params(self):
+        assert list(MaxPool2D(2).parameters()) == []
+
+    def test_flatten(self):
+        layer = Flatten()
+        out = layer(Tensor(np.zeros((2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+        assert layer.output_shape((3, 4, 4)) == (48,)
+
+    def test_relu_values(self):
+        out = ReLU()(Tensor(np.array([[-1.0, 2.0]])))
+        np.testing.assert_array_equal(out.data, [[0.0, 2.0]])
+
+    def test_tanh_range(self):
+        out = Tanh()(Tensor(np.array([[-100.0, 0.0, 100.0]])))
+        np.testing.assert_allclose(out.data, [[-1.0, 0.0, 1.0]], atol=1e-9)
+
+
+class TestDropout:
+    def test_identity_in_inference(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((4, 10))
+        out = layer(Tensor(x), training=False)
+        np.testing.assert_array_equal(out.data, x)
+
+    def test_scales_in_training(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((200, 200))
+        out = layer(Tensor(x), training=True).data
+        # Inverted dropout preserves the mean.
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(out.round(6))) == {0.0, 2.0}
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            Dropout(-0.1, rng)

@@ -1,0 +1,120 @@
+"""Tests for loss functions and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, losses
+from repro.nn.tensor import Tensor
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = losses.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            losses.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            losses.one_hot(np.array([-1]), 3)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[100.0, 0.0, 0.0]]))
+        loss = losses.cross_entropy(logits, np.array([0]))
+        assert float(loss.data) < 1e-6
+
+    def test_uniform_logits_log_k(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = losses.cross_entropy(logits, np.zeros(4, dtype=int))
+        assert float(loss.data) == pytest.approx(np.log(10))
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        losses.cross_entropy(logits, np.array([1])).backward()
+        grad = logits.grad[0]
+        # Gradient pushes the true class up (negative grad) and others down.
+        assert grad[1] < 0
+        assert grad[0] > 0 and grad[2] > 0
+        assert grad.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_manual_formula(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(5, 4))
+        y = rng.integers(0, 4, size=5)
+        loss = float(losses.cross_entropy(Tensor(z), y).data)
+        probs = np.exp(z - z.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        expected = -np.log(probs[np.arange(5), y]).mean()
+        assert loss == pytest.approx(expected)
+
+
+class TestSoftCrossEntropy:
+    def test_reduces_to_hard_ce_on_onehot(self):
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=(6, 5))
+        y = rng.integers(0, 5, size=6)
+        hard = float(losses.cross_entropy(Tensor(z), y).data)
+        soft = float(losses.soft_cross_entropy(Tensor(z), losses.one_hot(y, 5)).data)
+        assert soft == pytest.approx(hard)
+
+    def test_temperature_changes_loss(self):
+        z = Tensor(np.array([[4.0, 0.0, 0.0]]))
+        targets = np.array([[0.5, 0.25, 0.25]])
+        low = float(losses.soft_cross_entropy(z, targets, temperature=1.0).data)
+        high = float(losses.soft_cross_entropy(z, targets, temperature=100.0).data)
+        assert low != pytest.approx(high)
+
+
+class TestMSE:
+    def test_zero_when_equal(self):
+        preds = Tensor(np.ones((3, 2)))
+        assert float(losses.mse(preds, np.ones((3, 2))).data) == 0.0
+
+    def test_value(self):
+        preds = Tensor(np.zeros((2, 2)))
+        assert float(losses.mse(preds, np.ones((2, 2)) * 2).data) == pytest.approx(4.0)
+
+
+def _quadratic_descend(optimizer_cls, steps, **kwargs):
+    """Minimise ||p - target||^2 and return the final parameter."""
+    target = np.array([3.0, -2.0])
+    p = Tensor(np.zeros(2), requires_grad=True)
+    opt = optimizer_cls([p], **kwargs)
+    for _ in range(steps):
+        opt.zero_grad()
+        diff = p - Tensor(target)
+        loss = (diff * diff).sum()
+        loss.backward()
+        opt.step()
+    return p.data, target
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        final, target = _quadratic_descend(SGD, steps=100, lr=0.1)
+        np.testing.assert_allclose(final, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        final, target = _quadratic_descend(SGD, steps=200, lr=0.01, momentum=0.9)
+        np.testing.assert_allclose(final, target, atol=1e-2)
+
+    def test_adam_converges(self):
+        final, target = _quadratic_descend(Adam, steps=400, lr=0.1)
+        np.testing.assert_allclose(final, target, atol=1e-3)
+
+    def test_weight_decay_shrinks_solution(self):
+        no_decay, target = _quadratic_descend(SGD, steps=200, lr=0.1)
+        decayed, _ = _quadratic_descend(SGD, steps=200, lr=0.1, weight_decay=1.0)
+        assert np.linalg.norm(decayed) < np.linalg.norm(no_decay)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_step_skips_missing_grads(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no backward yet; must not crash
+        np.testing.assert_array_equal(p.data, np.ones(2))

@@ -1,0 +1,113 @@
+"""Hypothesis property tests on the autograd/NN core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+
+@st.composite
+def small_array(draw, shape=(3, 4), lo=-10.0, hi=10.0):
+    return draw(hnp.arrays(np.float64, shape, elements=st.floats(lo, hi, **finite)))
+
+
+class TestSoftmaxProperties:
+    @given(small_array())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_are_distributions(self, x):
+        probs = ops.softmax(Tensor(x)).data
+        assert (probs >= 0).all()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-12)
+
+    @given(small_array(), st.floats(-20, 20, **finite))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_invariance(self, x, shift):
+        a = ops.softmax(Tensor(x)).data
+        b = ops.softmax(Tensor(x + shift)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(small_array())
+    @settings(max_examples=60, deadline=None)
+    def test_argmax_preserved(self, x):
+        probs = ops.softmax(Tensor(x)).data
+        # softmax is monotone: the winning logit wins the probability too
+        # (compare values, not indices — near-ties may reorder in float).
+        winning = probs[np.arange(len(x)), x.argmax(axis=-1)]
+        np.testing.assert_allclose(winning, probs.max(axis=-1), atol=1e-12)
+
+    @given(small_array(), st.floats(1.5, 100.0, **finite))
+    @settings(max_examples=60, deadline=None)
+    def test_temperature_never_sharpens(self, x, temperature):
+        base = ops.softmax(Tensor(x)).data
+        cooled = ops.softmax(Tensor(x), temperature=temperature).data
+        assert cooled.max(axis=-1).max() <= base.max(axis=-1).max() + 1e-9
+
+
+class TestAutogradProperties:
+    @given(small_array(), small_array())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_rule(self, a, b):
+        """grad(sum(a+b)) wrt a is all-ones regardless of b."""
+        ta = Tensor(a, requires_grad=True)
+        ops.sum_(ops.add(ta, Tensor(b))).backward()
+        np.testing.assert_allclose(ta.grad, np.ones_like(a))
+
+    @given(small_array())
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_of_gradient(self, a):
+        """grad of c*f accumulates as c * grad of f."""
+        t1 = Tensor(a, requires_grad=True)
+        ops.sum_(ops.mul(ops.tanh(t1), 3.0)).backward()
+        t2 = Tensor(a, requires_grad=True)
+        ops.sum_(ops.tanh(t2)).backward()
+        np.testing.assert_allclose(t1.grad, 3.0 * t2.grad, atol=1e-9)
+
+    @given(small_array(shape=(2, 3)))
+    @settings(max_examples=40, deadline=None)
+    def test_reshape_preserves_gradient_mass(self, a):
+        t = Tensor(a, requires_grad=True)
+        ops.sum_(ops.mul(ops.reshape(t, (6,)), 2.0)).backward()
+        np.testing.assert_allclose(t.grad, np.full_like(a, 2.0))
+
+    @given(small_array(shape=(4,), lo=0.5, hi=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_log_exp_roundtrip_gradient(self, a):
+        t = Tensor(a, requires_grad=True)
+        ops.sum_(ops.log(ops.exp(t))).backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(a), atol=1e-9)
+
+
+class TestConvProperties:
+    @given(
+        small_array(shape=(1, 1, 5, 5), lo=-2, hi=2),
+        small_array(shape=(2, 1, 3, 3), lo=-1, hi=1),
+        st.floats(0.1, 3.0, **finite),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conv_linear_in_input(self, x, w, scale):
+        bias = Tensor(np.zeros(2))
+        out1 = ops.conv2d(Tensor(x * scale), Tensor(w), bias).data
+        out2 = ops.conv2d(Tensor(x), Tensor(w), bias).data * scale
+        np.testing.assert_allclose(out1, out2, atol=1e-9)
+
+    @given(small_array(shape=(1, 1, 6, 6), lo=-3, hi=3))
+    @settings(max_examples=30, deadline=None)
+    def test_maxpool_bounds(self, x):
+        out = ops.max_pool2d(Tensor(x), 2).data
+        assert out.max() <= x.max() + 1e-12
+        assert out.min() >= x.min() - 1e-12
+        # Pooling a constant image is the identity value.
+        const = ops.max_pool2d(Tensor(np.full_like(x, 1.5)), 2).data
+        np.testing.assert_allclose(const, 1.5)
+
+    @given(small_array(shape=(2, 1, 4, 4), lo=-2, hi=2))
+    @settings(max_examples=30, deadline=None)
+    def test_im2col_preserves_values(self, x):
+        cols = ops.im2col(x, 2, 2)
+        # Non-overlapping windows: the multiset of values is preserved.
+        np.testing.assert_allclose(np.sort(cols.ravel()), np.sort(x.ravel()))

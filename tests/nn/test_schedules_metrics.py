@@ -1,0 +1,107 @@
+"""Tests for LR schedules, classification metrics and gradcheck utility."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Network, SGD, ops
+from repro.nn.gradcheck import GradientCheckError, check_gradients
+from repro.nn.metrics import confusion_matrix, expected_calibration_error, per_class_accuracy
+from repro.nn.schedules import ConstantSchedule, CosineSchedule, StepSchedule, WarmupSchedule
+from repro.nn.tensor import Tensor
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantSchedule(0.1).rate(99) == 0.1
+
+    def test_step(self):
+        schedule = StepSchedule(1.0, step=10, gamma=0.5)
+        assert schedule.rate(0) == 1.0
+        assert schedule.rate(10) == 0.5
+        assert schedule.rate(25) == 0.25
+
+    def test_cosine_endpoints(self):
+        schedule = CosineSchedule(1.0, epochs=100, min_lr=0.1)
+        assert schedule.rate(0) == pytest.approx(1.0)
+        assert schedule.rate(100) == pytest.approx(0.1)
+        assert schedule.rate(50) == pytest.approx(0.55)
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineSchedule(1.0, epochs=50)
+        rates = [schedule.rate(e) for e in range(51)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_warmup_ramps_then_delegates(self):
+        schedule = WarmupSchedule(ConstantSchedule(1.0), warmup=4)
+        assert schedule.rate(0) == pytest.approx(0.25)
+        assert schedule.rate(3) == pytest.approx(1.0)
+        assert schedule.rate(10) == 1.0
+
+    def test_apply_sets_optimizer_lr(self):
+        rng = np.random.default_rng(0)
+        net = Network([Dense(2, 2, rng)], (2,))
+        opt = SGD(net.parameters(), lr=123.0)
+        StepSchedule(1.0, step=5).apply(opt, epoch=7)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ValueError):
+            StepSchedule(1.0, step=0)
+        with pytest.raises(ValueError):
+            WarmupSchedule(ConstantSchedule(1.0), warmup=0)
+
+
+class TestMetrics:
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 2]), np.array([0, 1, 1, 2]), 3)
+        expected = np.array([[1, 1, 0], [0, 1, 0], [0, 0, 1]])
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_confusion_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3, int), np.zeros(4, int), 2)
+
+    def test_per_class_accuracy(self):
+        true = np.array([0, 0, 1, 1, 1])
+        pred = np.array([0, 1, 1, 1, 0])
+        acc = per_class_accuracy(true, pred, 3)
+        assert acc[0] == pytest.approx(0.5)
+        assert acc[1] == pytest.approx(2 / 3)
+        assert np.isnan(acc[2])
+
+    def test_ece_perfectly_calibrated(self):
+        # Confidence 1.0 and always right -> zero calibration error.
+        probs = np.zeros((10, 3))
+        probs[:, 0] = 1.0
+        labels = np.zeros(10, dtype=int)
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.0)
+
+    def test_ece_overconfident(self):
+        # Confidence ~1.0 but only 50% right -> ECE near 0.5.
+        probs = np.zeros((10, 2))
+        probs[:, 0] = 0.99
+        probs[:, 1] = 0.01
+        labels = np.array([0, 1] * 5)
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.49, abs=0.01)
+
+
+class TestGradcheckUtility:
+    def test_passes_for_correct_op(self):
+        check_gradients(ops.tanh, [(3, 3)])
+
+    def test_fails_for_broken_op(self):
+        def broken(a):
+            out = ops.tanh(a)
+
+            def bad_backward(grad):
+                a._accumulate(grad * 0.123)  # wrong gradient on purpose
+
+            return Tensor._from_op(out.data, (a,), bad_backward)
+
+        with pytest.raises(GradientCheckError):
+            check_gradients(broken, [(4,)])
+
+    def test_positive_option(self):
+        check_gradients(ops.log, [(5,)], positive=True)

@@ -1,0 +1,83 @@
+"""Training-loop tests: a small network must learn simple problems."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dense, Network, ReLU, TrainConfig, fit
+from repro.nn.losses import one_hot, soft_cross_entropy
+
+
+def _two_blob_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[2.0, 2.0], [-2.0, -2.0]])
+    labels = rng.integers(0, 2, size=n)
+    x = centers[labels] + rng.normal(scale=0.5, size=(n, 2))
+    return x, labels
+
+
+def _make_net(seed=0, outputs=2):
+    rng = np.random.default_rng(seed)
+    return Network([Dense(2, 16, rng), ReLU(), Dense(16, outputs, rng)], (2,))
+
+
+class TestFit:
+    def test_learns_separable_blobs(self):
+        x, y = _two_blob_data()
+        net = _make_net()
+        history = fit(
+            net, Adam(net.parameters(), lr=0.01), x, y,
+            TrainConfig(epochs=30, batch_size=32), np.random.default_rng(1),
+        )
+        assert net.accuracy(x, y) > 0.95
+        assert history.loss[-1] < history.loss[0]
+
+    def test_history_lengths(self):
+        x, y = _two_blob_data(50)
+        net = _make_net()
+        history = fit(
+            net, Adam(net.parameters()), x, y,
+            TrainConfig(epochs=5, batch_size=16), np.random.default_rng(0),
+            x_val=x, y_val=y,
+        )
+        assert len(history.loss) == 5
+        assert len(history.accuracy) == 5
+        assert len(history.val_accuracy) == 5
+        assert history.seconds > 0
+
+    def test_length_mismatch_rejected(self):
+        net = _make_net()
+        with pytest.raises(ValueError):
+            fit(
+                net, Adam(net.parameters()), np.zeros((10, 2)), np.zeros(5, dtype=int),
+                TrainConfig(epochs=1), np.random.default_rng(0),
+            )
+
+    def test_soft_targets_supported(self):
+        x, y = _two_blob_data(100)
+        soft = one_hot(y, 2) * 0.9 + 0.05
+        net = _make_net()
+        fit(
+            net, Adam(net.parameters(), lr=0.01), x, soft,
+            TrainConfig(epochs=20, batch_size=32), np.random.default_rng(0),
+            loss_fn=lambda logits, targets: soft_cross_entropy(logits, targets),
+        )
+        assert net.accuracy(x, y) > 0.9
+
+    def test_lr_decay_applied(self):
+        x, y = _two_blob_data(40)
+        net = _make_net()
+        opt = Adam(net.parameters(), lr=0.01)
+        fit(net, opt, x, y, TrainConfig(epochs=3, lr_decay=0.5), np.random.default_rng(0))
+        assert opt.lr == pytest.approx(0.01 * 0.5**3)
+
+    def test_deterministic_given_seed(self):
+        x, y = _two_blob_data(60)
+        results = []
+        for _ in range(2):
+            net = _make_net(seed=7)
+            fit(
+                net, Adam(net.parameters(), lr=0.01), x, y,
+                TrainConfig(epochs=3, batch_size=16), np.random.default_rng(5),
+            )
+            results.append(net.logits(x[:5]))
+        np.testing.assert_array_equal(results[0], results[1])

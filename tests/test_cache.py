@@ -1,0 +1,55 @@
+"""Tests for the on-disk artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.cache import cache_dir, cache_key, memoize_arrays
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    return tmp_path
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key({"a": 1, "b": "x"}) == cache_key({"b": "x", "a": 1})
+
+    def test_distinguishes_specs(self):
+        assert cache_key({"a": 1}) != cache_key({"a": 2})
+
+
+class TestMemoizeArrays:
+    def test_builds_once(self, isolated_cache):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": np.arange(5.0)}
+
+        spec = {"kind": "test", "v": 1}
+        first = memoize_arrays(spec, build)
+        second = memoize_arrays(spec, build)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first["x"], second["x"])
+
+    def test_kind_in_filename(self, isolated_cache):
+        memoize_arrays({"kind": "mything"}, lambda: {"x": np.zeros(1)})
+        files = list(isolated_cache.glob("mything-*.npz"))
+        assert len(files) == 1
+
+    def test_different_specs_different_files(self, isolated_cache):
+        memoize_arrays({"kind": "t", "v": 1}, lambda: {"x": np.zeros(1)})
+        memoize_arrays({"kind": "t", "v": 2}, lambda: {"x": np.ones(1)})
+        assert len(list(isolated_cache.glob("t-*.npz"))) == 2
+
+    def test_preserves_multiple_arrays(self, isolated_cache):
+        spec = {"kind": "multi"}
+        built = memoize_arrays(spec, lambda: {"a": np.eye(3), "b": np.arange(4)})
+        loaded = memoize_arrays(spec, lambda: pytest.fail("must not rebuild"))
+        np.testing.assert_array_equal(loaded["a"], np.eye(3))
+        np.testing.assert_array_equal(loaded["b"], np.arange(4))
+
+    def test_env_var_controls_location(self, isolated_cache):
+        assert cache_dir() == isolated_cache

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_table(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "7"])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.dataset == "mnist-fast"
+        assert args.attack_name == "cw-l2"
+        assert not args.untargeted
+
+
+class TestCommands:
+    def test_info_lists_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mnist-like" in out
+        assert "cw-l2" in out
+        assert "cnn-paper" in out
+        assert "REPRO_SCALE" in out
+
+    def test_train_reports_accuracy(self, capsys):
+        assert main(["train", "--dataset", "mnist-fast"]) == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert "%" in out
+
+    def test_attack_targeted(self, capsys):
+        code = main(["attack", "--dataset", "mnist-fast", "--attack", "igsm", "--seeds", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "igsm (targeted)" in out
+        assert "linf" in out
+
+    def test_attack_untargeted_native(self, capsys):
+        code = main(["attack", "--dataset", "mnist-fast", "--attack", "deepfool", "--seeds", "4"])
+        assert code == 0
+        assert "deepfool (untargeted)" in capsys.readouterr().out
+
+    def test_attack_untargeted_wrapper(self, capsys):
+        code = main(
+            ["attack", "--dataset", "mnist-fast", "--attack", "fgsm", "--seeds", "4", "--untargeted"]
+        )
+        assert code == 0
+        assert "fgsm (untargeted)" in capsys.readouterr().out
+
+
+class TestPaperArtifactCommands:
+    """These rely on the warmed .artifacts cache and stay read-only."""
+
+    def test_figure_1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "logits" in out
+        assert "*" in out  # maximum marked, as in the paper's Fig. 1
+
+    def test_table_2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "FALSE RATE OF DETECTOR" in out
+        assert "mnist-fast" in out and "cifar-fast" in out

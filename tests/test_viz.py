@@ -1,0 +1,64 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_diff, ascii_image, side_by_side
+
+
+class TestAsciiImage:
+    def test_grayscale_dimensions(self):
+        image = np.zeros((1, 8, 8)) - 0.5
+        art = ascii_image(image)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 8 for line in lines)
+
+    def test_dark_is_blank_bright_is_dense(self):
+        dark = ascii_image(np.full((4, 4), -0.5))
+        bright = ascii_image(np.full((4, 4), 0.5))
+        assert set(dark) <= {" ", "\n"}
+        assert "@" in bright
+
+    def test_colour_collapsed(self):
+        image = np.full((3, 4, 4), 0.5)
+        assert "@" in ascii_image(image)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros((2, 3, 4, 4)))
+
+    def test_downscaling(self):
+        art = ascii_image(np.zeros((16, 16)), width=8)
+        assert all(len(line) == 8 for line in art.splitlines())
+
+
+class TestAsciiDiff:
+    def test_directions(self):
+        original = np.zeros((4, 4))
+        adversarial = original.copy()
+        adversarial[0, 0] = 0.4  # strong up
+        adversarial[3, 3] = -0.4  # strong down
+        adversarial[1, 1] = 0.1  # weak up
+        art = ascii_diff(original, adversarial).splitlines()
+        assert art[0][0] == "#"
+        assert art[3][3] == "="
+        assert art[1][1] == "+"
+        assert art[2][2] == " "
+
+    def test_zero_diff_blank(self):
+        x = np.random.default_rng(0).uniform(-0.5, 0.5, size=(4, 4))
+        art = ascii_diff(x, x)
+        assert set(art) <= {" ", "\n"}
+
+
+class TestSideBySide:
+    def test_joins_blocks(self):
+        joined = side_by_side("ab\ncd", "XY\nZW", gap=1)
+        assert joined == "ab XY\ncd ZW"
+
+    def test_uneven_heights_padded(self):
+        joined = side_by_side("a", "x\ny")
+        lines = joined.splitlines()
+        assert len(lines) == 2
+        assert lines[1].strip() == "y"

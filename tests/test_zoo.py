@@ -1,0 +1,62 @@
+"""Tests for the model zoo (architectures + caching)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.nn import Conv2D, Dense
+from repro.zoo import MODEL_CONFIGS, ModelConfig, build_network, load_model
+
+
+class TestConfigs:
+    def test_expected_presets(self):
+        assert {"cnn-paper", "cnn-fast"} <= set(MODEL_CONFIGS)
+
+    def test_carlini_topology(self):
+        """Two conv blocks (conv-conv-pool) then dense head, as in CW."""
+        config = MODEL_CONFIGS["cnn-paper"]
+        network = build_network(config, (1, 28, 28), 10)
+        convs = [l for l in network.layers if isinstance(l, Conv2D)]
+        denses = [l for l in network.layers if isinstance(l, Dense)]
+        assert len(convs) == 4  # two per block
+        assert len(denses) == len(config.dense_units) + 1
+        assert network.output_shape == (10,)
+
+
+class TestBuildNetwork:
+    def test_shapes_for_color_input(self):
+        config = MODEL_CONFIGS["cnn-fast"]
+        network = build_network(config, (3, 16, 16), 10)
+        out = network.logits(np.zeros((2, 3, 16, 16)))
+        assert out.shape == (2, 10)
+
+    def test_seed_reproducible(self):
+        config = MODEL_CONFIGS["cnn-fast"]
+        a = build_network(config, (1, 16, 16), 10, seed=5)
+        b = build_network(config, (1, 16, 16), 10, seed=5)
+        x = np.random.default_rng(0).normal(size=(2, 1, 16, 16)) * 0.1
+        np.testing.assert_array_equal(a.logits(x), b.logits(x))
+
+    def test_different_seeds_differ(self):
+        config = MODEL_CONFIGS["cnn-fast"]
+        a = build_network(config, (1, 16, 16), 10, seed=5)
+        b = build_network(config, (1, 16, 16), 10, seed=6)
+        x = np.random.default_rng(0).normal(size=(2, 1, 16, 16)) * 0.1
+        assert not np.allclose(a.logits(x), b.logits(x))
+
+
+class TestLoadModel:
+    """Uses the shared .artifacts cache (trained on first suite run)."""
+
+    def test_cached_model_is_accurate(self):
+        ds = load_dataset("mnist-fast")
+        model = load_model(ds)
+        # The paper's MNIST model reaches 99.3-99.4%; ours must be comparable.
+        assert model.accuracy(ds.x_test, ds.y_test) > 0.97
+
+    def test_cache_roundtrip_identical(self):
+        ds = load_dataset("mnist-fast")
+        a = load_model(ds)
+        b = load_model(ds)
+        x = ds.x_test[:10]
+        np.testing.assert_array_equal(a.logits(x), b.logits(x))
