@@ -1,0 +1,116 @@
+"""Throughput benchmark for the InferenceEngine (standalone, JSON output).
+
+Measures the digits-CNN logits path four ways:
+
+* ``legacy``        — the pre-engine float64 autograd forward, batched
+* ``engine-f64``    — engine kernels at float64 (bit-compatible baseline)
+* ``engine-f32``    — engine kernels at float32 (the default)
+* ``engine-memo``   — engine with the memo warm (repeat-query regime)
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --out bench.json
+
+The acceptance bar from the engine refactor: ``engine-f32`` must beat
+``legacy`` by >= 1.5x examples/second.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.nn import InferenceEngine, Tensor, no_grad
+from repro.zoo import model_for_dataset
+
+BATCH_SIZE = 256
+
+
+def legacy_logits(network, x):
+    with no_grad():
+        outputs = [
+            network.forward(Tensor(x[begin : begin + BATCH_SIZE])).data
+            for begin in range(0, len(x), BATCH_SIZE)
+        ]
+    return np.concatenate(outputs, axis=0)
+
+
+def timeit(fn, repeats):
+    """Best-of-``repeats`` wall clock (seconds) for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(n_examples: int, repeats: int) -> dict:
+    dataset, model = model_for_dataset("mnist-fast")
+    x = dataset.x_test[:n_examples]
+
+    engine32 = InferenceEngine(model, dtype=np.float32)
+    engine64 = InferenceEngine(model, dtype=np.float64)
+
+    variants = {
+        "legacy": lambda: legacy_logits(model, x),
+        "engine-f64": lambda: engine64.logits(x, memo=False),
+        "engine-f32": lambda: engine32.logits(x, memo=False),
+    }
+    results = {}
+    for name, fn in variants.items():
+        fn()  # warm up caches (parameter casts, BLAS)
+        seconds = timeit(fn, repeats)
+        results[name] = {"seconds": seconds, "examples_per_sec": len(x) / seconds}
+
+    # Memo regime: the same array queried again (the table-builder pattern).
+    engine32.logits(x)  # prime
+    seconds = timeit(lambda: engine32.logits(x), repeats)
+    results["engine-memo"] = {"seconds": seconds, "examples_per_sec": len(x) / seconds}
+
+    # Numerical sanity alongside the throughput claim.
+    reference = legacy_logits(model, x)
+    f32 = engine32.logits(x, memo=False)
+    speedup = results["engine-f32"]["examples_per_sec"] / results["legacy"]["examples_per_sec"]
+    return {
+        "dataset": dataset.name,
+        "examples": len(x),
+        "batch_size": BATCH_SIZE,
+        "repeats": repeats,
+        "results": results,
+        "f32_vs_legacy_speedup": speedup,
+        "f32_max_abs_error": float(np.max(np.abs(f32.astype(np.float64) - reference))),
+        "f32_label_agreement": float((f32.argmax(-1) == reference.argmax(-1)).mean()),
+        "meets_1p5x_bar": bool(speedup >= 1.5),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--examples", type=int, default=512)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=None, help="also write JSON here")
+    args = parser.parse_args(argv)
+    if args.examples < 1:
+        parser.error("--examples must be >= 1")
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    payload = run(args.examples, args.repeats)
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.out:
+        args.out.write_text(text + "\n")
+    return 0 if payload["meets_1p5x_bar"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

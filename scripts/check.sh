@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo health check: byte-compile everything, then run the tier-1 suite.
+#
+#   ./scripts/check.sh            # fast (default REPRO_SCALE)
+#   ./scripts/check.sh -k engine  # extra args forwarded to pytest
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src benchmarks scripts
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"

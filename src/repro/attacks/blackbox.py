@@ -96,14 +96,16 @@ class SubstituteBlackBox:
         return substitute
 
     def _query(self, victim: _Net, x: np.ndarray) -> np.ndarray:
+        # Label-only oracle access; memo bypassed so ``queries_used``
+        # reflects what the victim would actually have served.
         self.queries_used += len(x)
-        return victim.predict(x)
+        return victim.engine.predict(x, memo=False)
 
     def agreement(self, victim: _Net, x: np.ndarray) -> float:
         """Label agreement between substitute and victim on ``x``."""
         if self.substitute is None:
             raise RuntimeError("call fit_substitute first")
-        return float((self.substitute.predict(x) == victim.predict(x)).mean())
+        return float((self.substitute.engine.predict(x) == victim.engine.predict(x)).mean())
 
     # -- the attack itself ---------------------------------------------------
 
@@ -114,6 +116,6 @@ class SubstituteBlackBox:
         x = np.asarray(x, dtype=np.float64)
         source_labels = np.asarray(source_labels)
         local = self.inner_attack.perturb(self.substitute, x, source_labels)
-        predictions = victim.predict(local.adversarial)
+        predictions = victim.engine.predict(local.adversarial, memo=False)
         success = predictions != source_labels
         return AttackResult(x, local.adversarial, success, source_labels, None)

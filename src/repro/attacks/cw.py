@@ -403,7 +403,7 @@ class CarliniWagnerLinf:
                 w = adam.update(w, w_tensor.grad)
 
             candidate = np.tanh(w) * 0.5
-            logits = network.logits(candidate)
+            logits = network.engine.logits(candidate, memo=False)
             z_target = (logits * onehot).sum(axis=-1)
             z_other = (logits - onehot * _EXCLUDE).max(axis=-1)
             margin = z_other - z_target + self.confidence

@@ -38,14 +38,15 @@ class DeepFool:
         source_labels = np.asarray(source_labels)
         n = len(x)
         current = x.copy()
-        active = network.predict(current) == source_labels
+        engine = network.engine
+        active = engine.predict(current, memo=False) == source_labels
 
         for _ in range(self.max_steps):
             if not active.any():
                 break
             idx = np.flatnonzero(active)
             batch = current[idx]
-            logits = network.logits(batch)
+            logits = engine.logits(batch, memo=False)
             grads = jacobian(network, batch)  # (b, classes, *shape)
             b = len(idx)
             flat_grads = grads.reshape(b, grads.shape[1], -1)
@@ -63,8 +64,8 @@ class DeepFool:
                 step[row] = (np.abs(f[best]) + 1e-6) / (norms[best] ** 2 + 1e-12) * w[best]
 
             current[idx] = clip_to_box(batch + (1.0 + self.overshoot) * step.reshape(batch.shape))
-            active[idx] = network.predict(current[idx]) == origin
+            active[idx] = engine.predict(current[idx], memo=False) == origin
 
-        predictions = network.predict(current)
+        predictions = engine.predict(current, memo=False)
         success = predictions != source_labels
         return AttackResult(x, current, success, source_labels, None)

@@ -46,11 +46,11 @@ class FGSM:
             target_labels = np.asarray(target_labels)
             gradient = cross_entropy_gradient(network, x, target_labels)
             adversarial = clip_to_box(x - self.epsilon * np.sign(gradient))
-            predictions = network.predict(adversarial)
+            predictions = network.engine.predict(adversarial, memo=False)
             success = predictions == target_labels
         else:
             gradient = cross_entropy_gradient(network, x, source_labels)
             adversarial = clip_to_box(x + self.epsilon * np.sign(gradient))
-            predictions = network.predict(adversarial)
+            predictions = network.engine.predict(adversarial, memo=False)
             success = predictions != source_labels
         return AttackResult(x, adversarial, success, source_labels, target_labels)

@@ -67,12 +67,12 @@ class IGSM:
                 stepped = batch + self.alpha * np.sign(gradient)
             stepped = np.clip(stepped, x[active] - self.epsilon, x[active] + self.epsilon)
             current[active] = clip_to_box(stepped)
-            predictions = network.predict(current[active])
+            predictions = network.engine.predict(current[active], memo=False)
             if targeted:
                 done[active] |= predictions == target_labels[active]
             else:
                 done[active] |= predictions != source_labels[active]
 
-        predictions = network.predict(current)
+        predictions = network.engine.predict(current, memo=False)
         success = predictions == target_labels if targeted else predictions != source_labels
         return AttackResult(x, current, success, source_labels, target_labels if targeted else None)

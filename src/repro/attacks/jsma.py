@@ -60,7 +60,7 @@ class JSMA:
                 for i in range(len(x))
             ]
         )
-        predictions = network.predict(adversarial)
+        predictions = network.engine.predict(adversarial, memo=False)
         success = predictions == target_labels
         return AttackResult(x, adversarial, success, source_labels, target_labels)
 
@@ -73,7 +73,7 @@ class JSMA:
         available = np.ones(features, dtype=bool)
 
         for _ in range(max_steps):
-            if network.predict(current[None])[0] == target:
+            if network.engine.predict(current[None], memo=False)[0] == target:
                 break
             alpha, beta = self._gradient_components(network, current, target)
             pair = self._best_pair(alpha, beta, available)
@@ -91,7 +91,7 @@ class JSMA:
         """Return flattened (target-gradient, sum-of-other-gradients)."""
         rows = jacobian(network, image[None])[0]  # (classes, *input_shape)
         if not self.use_logits:
-            probs = network.softmax(image[None])[0]
+            probs = network.engine.softmax(image[None], memo=False)[0]
             # d softmax_c / dx = softmax_c * (grad_c - sum_k softmax_k grad_k)
             weighted = np.tensordot(probs, rows, axes=(0, 0))
             rows = probs[(slice(None),) + (None,) * (rows.ndim - 1)] * (rows - weighted)

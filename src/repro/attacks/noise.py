@@ -33,7 +33,7 @@ class UniformNoise:
         source_labels = np.asarray(source_labels)
         noise = self._rng.uniform(-self.epsilon, self.epsilon, size=x.shape)
         perturbed = clip_to_box(x + noise)
-        success = network.predict(perturbed) != source_labels
+        success = network.engine.predict(perturbed, memo=False) != source_labels
         return AttackResult(x, perturbed, success, source_labels, None)
 
 
@@ -56,5 +56,5 @@ class GaussianNoise:
         norms = np.linalg.norm(flat, axis=1, keepdims=True)
         flat *= self.l2_norm / np.maximum(norms, 1e-12)
         perturbed = clip_to_box(x + flat.reshape(x.shape))
-        success = network.predict(perturbed) != source_labels
+        success = network.engine.predict(perturbed, memo=False) != source_labels
         return AttackResult(x, perturbed, success, source_labels, None)

@@ -70,7 +70,7 @@ class PGD:
                 network, x[remaining], source_labels[remaining],
                 None if target_labels is None else target_labels[remaining],
             )
-            predictions = network.predict(candidate)
+            predictions = network.engine.predict(candidate, memo=False)
             if targeted:
                 ok = predictions == target_labels[remaining]
             else:
@@ -79,7 +79,7 @@ class PGD:
             best[indices[ok]] = candidate[ok]
             solved[indices[ok]] = True
 
-        predictions = network.predict(best)
+        predictions = network.engine.predict(best, memo=False)
         success = predictions == target_labels if targeted else predictions != source_labels
         return AttackResult(x, best, success, source_labels, target_labels if targeted else None)
 

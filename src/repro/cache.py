@@ -4,6 +4,13 @@ Training even the reduced CNNs takes minutes on the single-core substrate,
 so datasets, model weights and adversarial-example pools are cached under
 ``$REPRO_CACHE`` (default ``<repo>/.artifacts``) keyed by a SHA-256 of their
 construction parameters.  Deleting the directory forces regeneration.
+
+A corrupt archive (truncated write, interrupted run, bad disk) is treated
+as a cache *miss*: the bad file is deleted and the artifact rebuilt, so a
+damaged cache can never wedge the test or benchmark suites.  Writes go
+through a per-process temporary file followed by an atomic ``os.replace``,
+so concurrent runs sharing a cache directory cannot clobber each other's
+partial writes.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Callable
 
@@ -36,6 +44,15 @@ def cache_key(spec: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()[:20]
 
 
+def _load_arrays(path: Path) -> dict[str, np.ndarray] | None:
+    """Load an ``.npz`` archive, returning ``None`` if it is unusable."""
+    try:
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, OSError, KeyError, ValueError, EOFError):
+        return None
+
+
 def memoize_arrays(spec: dict, build: Callable[[], dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
     """Return ``build()``'s dict of arrays, cached on disk under ``spec``.
 
@@ -45,10 +62,16 @@ def memoize_arrays(spec: dict, build: Callable[[], dict[str, np.ndarray]]) -> di
     kind = spec.get("kind", "artifact")
     path = cache_dir() / f"{kind}-{cache_key(spec)}.npz"
     if path.exists():
-        with np.load(path) as archive:
-            return {key: archive[key] for key in archive.files}
+        arrays = _load_arrays(path)
+        if arrays is not None:
+            return arrays
+        # Corrupt or truncated archive: discard and rebuild below.
+        path.unlink(missing_ok=True)
     arrays = build()
-    tmp = path.with_suffix(".tmp.npz")
-    np.savez_compressed(tmp, **arrays)
-    os.replace(tmp, path)
+    tmp = path.with_suffix(f".tmp-{os.getpid()}.npz")
+    try:
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return arrays

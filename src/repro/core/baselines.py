@@ -41,7 +41,7 @@ class MarginThresholdDetector:
         return self._margin(logits) < self.threshold
 
     def flag_images(self, model: Network, x: np.ndarray) -> np.ndarray:
-        return self.is_adversarial(model.logits(x))
+        return self.is_adversarial(model.engine.logits(x))
 
     def error_rates(self, benign_logits: np.ndarray, adversarial_logits: np.ndarray) -> dict[str, float]:
         """Same contract (and paper naming) as LogitDetector.error_rates."""

@@ -81,19 +81,20 @@ def fig1_rows(
     model: Network, benign_image: np.ndarray, true_label: int, adversarials: np.ndarray
 ) -> list[Fig1Row]:
     """Fig. 1's content: the benign seed's row followed by its 9 adversaries."""
-    rows = []
-    benign_logits = model.logits(benign_image[None])[0]
-    rows.append(
+    adversarials = np.asarray(adversarials)
+    # One batched engine pass covers the seed and all of its adversaries.
+    batch = np.concatenate([benign_image[None], adversarials])
+    all_logits = model.engine.logits(batch)
+    rows = [
         Fig1Row(
-            predicted_label=int(benign_logits.argmax()),
+            predicted_label=int(all_logits[0].argmax()),
             true_label=true_label,
             is_benign=True,
-            logits=benign_logits,
+            logits=all_logits[0],
             noise_l2=0.0,
         )
-    )
-    for adversarial in adversarials:
-        logits = model.logits(adversarial[None])[0]
+    ]
+    for adversarial, logits in zip(adversarials, all_logits[1:]):
         noise = float(np.linalg.norm((adversarial - benign_image).ravel()))
         rows.append(
             Fig1Row(

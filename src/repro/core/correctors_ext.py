@@ -14,6 +14,11 @@ are implemented alongside the default majority vote:
   majority-vote reconstruction for several rounds, walking back along the
   perturbation direction (helps large-|δ| L0 examples).
 
+All probes route through the network's :class:`~repro.nn.engine.InferenceEngine`
+(memo bypassed — the sampled points are fresh noise every call), and the
+soft/Gaussian variants batch their samples across examples the same way
+:func:`repro.defenses.region.region_vote` does.
+
 ``bench_ablation_other_correctors`` compares their recovery rates.
 """
 
@@ -25,6 +30,18 @@ from ..datasets.dataset import PIXEL_MAX, PIXEL_MIN
 from ..nn.network import Network
 
 __all__ = ["SoftVoteCorrector", "GaussianCorrector", "IterativeCorrector"]
+
+_CHUNK_POINTS = 512  # probe points per engine call, shared across examples
+
+
+def _chunked_probes(x: np.ndarray, samples: int, draw_noise) -> "np.ndarray":
+    """Yield ``(start, chunk, flat_points)`` probe batches for ``x``."""
+    per_chunk = max(1, _CHUNK_POINTS // max(1, samples))
+    for start in range(0, len(x), per_chunk):
+        chunk = x[start : start + per_chunk]
+        noise = draw_noise((len(chunk), samples) + chunk.shape[1:])
+        points = np.clip(chunk[:, None] + noise, PIXEL_MIN, PIXEL_MAX)
+        yield start, chunk, points.reshape((-1,) + chunk.shape[1:])
 
 
 class SoftVoteCorrector:
@@ -42,12 +59,13 @@ class SoftVoteCorrector:
         x = np.asarray(x, dtype=np.float64)
         if len(x) == 0:
             return np.array([], dtype=int)
+        engine = self.network.engine
         labels = np.empty(len(x), dtype=int)
-        for i, image in enumerate(x):
-            noise = self._rng.uniform(-self.radius, self.radius, size=(self.samples,) + image.shape)
-            points = np.clip(image[None] + noise, PIXEL_MIN, PIXEL_MAX)
-            probs = self.network.softmax(points)
-            labels[i] = int(probs.sum(axis=0).argmax())
+        draw = lambda size: self._rng.uniform(-self.radius, self.radius, size=size)
+        for start, chunk, flat in _chunked_probes(x, self.samples, draw):
+            probs = engine.softmax(flat, memo=False)
+            summed = probs.reshape(len(chunk), self.samples, -1).sum(axis=1)
+            labels[start : start + len(chunk)] = summed.argmax(axis=-1)
         return labels
 
 
@@ -77,13 +95,16 @@ class GaussianCorrector:
         x = np.asarray(x, dtype=np.float64)
         if len(x) == 0:
             return np.array([], dtype=int)
-        labels = np.empty(len(x), dtype=int)
+        engine = self.network.engine
         num_classes = self.network.num_classes
-        for i, image in enumerate(x):
-            noise = self._rng.normal(0.0, self.sigma, size=(self.samples,) + image.shape)
-            points = np.clip(image[None] + noise, PIXEL_MIN, PIXEL_MAX)
-            votes = np.bincount(self.network.predict(points), minlength=num_classes)
-            labels[i] = int(votes.argmax())
+        labels = np.empty(len(x), dtype=int)
+        draw = lambda size: self._rng.normal(0.0, self.sigma, size=size)
+        for start, chunk, flat in _chunked_probes(x, self.samples, draw):
+            predictions = engine.predict(flat, memo=False)
+            votes = np.zeros((len(chunk), num_classes), dtype=np.int64)
+            rows = np.repeat(np.arange(len(chunk)), self.samples)
+            np.add.at(votes, (rows, predictions), 1)
+            labels[start : start + len(chunk)] = votes.argmax(axis=1)
         return labels
 
 
@@ -116,15 +137,19 @@ class IterativeCorrector:
         x = np.asarray(x, dtype=np.float64)
         if len(x) == 0:
             return np.array([], dtype=int)
+        engine = self.network.engine
         labels = np.empty(len(x), dtype=int)
         num_classes = self.network.num_classes
+        # The re-centring walk is inherently sequential per example, so
+        # this stays a per-example loop; each probe batch still runs as a
+        # single engine call.
         for i, image in enumerate(x):
             centre = image
             label = -1
             for _ in range(self.rounds):
                 noise = self._rng.uniform(-self.radius, self.radius, size=(self.samples,) + image.shape)
                 points = np.clip(centre[None] + noise, PIXEL_MIN, PIXEL_MAX)
-                predictions = self.network.predict(points)
+                predictions = engine.predict(points, memo=False)
                 votes = np.bincount(predictions, minlength=num_classes)
                 label = int(votes.argmax())
                 supporters = points[predictions == label]

@@ -79,7 +79,7 @@ class LogitDetector:
 
     def scores(self, logits: np.ndarray) -> np.ndarray:
         """Detector logits, shape ``(N, 2)``."""
-        return self.network.logits(self._features(logits))
+        return self.network.engine.logits(self._features(logits))
 
     def is_adversarial(self, logits: np.ndarray) -> np.ndarray:
         """Boolean mask over a batch of *protected-model logits*."""
@@ -88,7 +88,7 @@ class LogitDetector:
 
     def flag_images(self, model: Network, x: np.ndarray) -> np.ndarray:
         """Convenience: run the protected model, then detect on its logits."""
-        return self.is_adversarial(model.logits(x))
+        return self.is_adversarial(model.engine.logits(x))
 
     def error_rates(self, benign_logits: np.ndarray, adversarial_logits: np.ndarray) -> dict[str, float]:
         """The paper's Table 2 metrics.
@@ -136,9 +136,9 @@ def detector_training_data(
         )
         benign_images.append(extra_x)
         benign_indices.append(extra_idx)
-    benign_logits = model.logits(np.concatenate(benign_images))
+    benign_logits = model.engine.logits(np.concatenate(benign_images))
     adv_images, _, _ = pool.successful()
-    adv_logits = model.logits(adv_images)
+    adv_logits = model.engine.logits(adv_images)
     features = np.concatenate([benign_logits, adv_logits])
     labels = np.concatenate(
         [np.full(len(benign_logits), BENIGN), np.full(len(adv_logits), ADVERSARIAL)]

@@ -31,7 +31,7 @@ class AdversariallyTrainedClassifier:
         self.epsilon = epsilon
 
     def classify(self, x: np.ndarray) -> np.ndarray:
-        return self.network.predict(x)
+        return self.network.engine.predict(x)
 
 
 def _fgsm_batch(network: Network, x: np.ndarray, y: np.ndarray, epsilon: float) -> np.ndarray:

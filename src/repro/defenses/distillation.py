@@ -33,7 +33,7 @@ class DistilledClassifier:
         self.temperature = temperature
 
     def classify(self, x: np.ndarray) -> np.ndarray:
-        return self.network.predict(x)
+        return self.network.engine.predict(x)
 
 
 def _train_at_temperature(
@@ -81,7 +81,7 @@ def train_distilled(
         teacher = build_network(config, dataset.input_shape, 10, seed=config.seed + 50)
         hard = one_hot(dataset.y_train, 10)
         _train_at_temperature(teacher, dataset.x_train, hard, config, temperature, seed_offset=3)
-        soft = teacher.softmax(dataset.x_train, temperature=temperature)
+        soft = teacher.engine.softmax(dataset.x_train, temperature=temperature, memo=False)
         _train_at_temperature(student, dataset.x_train, soft, config, temperature, seed_offset=4)
         return student.state()
 

@@ -136,7 +136,8 @@ class MagNet:
     def reform(self, x: np.ndarray) -> np.ndarray:
         """Project inputs onto the learned benign manifold."""
         x = np.asarray(x, dtype=np.float64)
-        flat = self.autoencoder.logits(x) * 0.5  # tanh output -> [-0.5, 0.5]
+        # Reconstructions are full images — too large to be worth memoising.
+        flat = self.autoencoder.engine.logits(x, memo=False) * 0.5  # tanh -> [-0.5, 0.5]
         return flat.reshape(x.shape)
 
     def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
@@ -155,4 +156,4 @@ class MagNet:
         return self.reconstruction_error(x) > self.threshold
 
     def classify(self, x: np.ndarray) -> np.ndarray:
-        return self.network.predict(self.reform(x))
+        return self.network.engine.predict(self.reform(x), memo=False)

@@ -48,18 +48,22 @@ def region_vote(
     x = np.asarray(x, dtype=np.float64)
     n = len(x)
     num_classes = network.num_classes
+    engine = network.engine
     votes = np.zeros((n, num_classes), dtype=np.int64)
 
-    # Sample per input, processed in flat batches to bound memory.
+    # Sample per input, processed in flat batches to bound memory.  The
+    # sampled points are fresh noise, so the engine memo is bypassed.
     per_chunk = max(1, batch_size // max(1, samples))
     for start in range(0, n, per_chunk):
         chunk = x[start : start + per_chunk]
         noise = rng.uniform(-radius, radius, size=(len(chunk), samples) + chunk.shape[1:])
         points = np.clip(chunk[:, None] + noise, PIXEL_MIN, PIXEL_MAX)
         flat = points.reshape((-1,) + chunk.shape[1:])
-        labels = network.predict(flat, batch_size=batch_size).reshape(len(chunk), samples)
-        for row in range(len(chunk)):
-            votes[start + row] = np.bincount(labels[row], minlength=num_classes)
+        labels = engine.predict(flat, batch_size=batch_size, memo=False)
+        # One scatter-add replaces the per-row bincount loop: O(1) Python
+        # overhead per chunk instead of O(rows).
+        rows = np.repeat(np.arange(start, start + len(chunk)), samples)
+        np.add.at(votes, (rows, labels), 1)
     return votes.argmax(axis=1)
 
 

@@ -53,10 +53,11 @@ class FeatureSqueezingDetector:
     def scores(self, x: np.ndarray) -> np.ndarray:
         """Maximum softmax-L1 displacement across the squeezers."""
         x = np.asarray(x, dtype=np.float64)
-        reference = self.network.softmax(x)
+        engine = self.network.engine
+        reference = engine.softmax(x)
         distances = []
         for squeezed in (reduce_bit_depth(x, self.bits), median_smooth(x, self.smooth_size)):
-            probs = self.network.softmax(squeezed)
+            probs = engine.softmax(squeezed)
             distances.append(np.abs(probs - reference).sum(axis=-1))
         return np.maximum.reduce(distances)
 

@@ -18,4 +18,4 @@ class StandardClassifier:
         self.network = network
 
     def classify(self, x: np.ndarray) -> np.ndarray:
-        return self.network.predict(x)
+        return self.network.engine.predict(x)

@@ -21,7 +21,7 @@ from .harness import (
 from .metrics import attack_success_rate, benign_accuracy, recovery_rate
 from .reportgen import PAPER_NUMBERS, generate_report
 from .tables import format_fig4, format_table2, format_table3, format_table45, format_table6
-from .timing import stopwatch, time_defense
+from .timing import DefenseProfile, profile_defense, stopwatch, time_defense
 
 __all__ = [
     "TargetedPool",
@@ -43,6 +43,8 @@ __all__ = [
     "recovery_rate",
     "stopwatch",
     "time_defense",
+    "DefenseProfile",
+    "profile_defense",
     "generate_report",
     "PAPER_NUMBERS",
     "format_table2",

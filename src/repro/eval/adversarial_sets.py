@@ -72,7 +72,7 @@ def select_correct_seeds(
     available = np.arange(len(dataset.x_test))
     if exclude is not None:
         available = np.setdiff1d(available, np.asarray(exclude))
-    predictions = network.predict(dataset.x_test[available])
+    predictions = network.engine.predict(dataset.x_test[available])
     correct = available[predictions == dataset.y_test[available]]
     if count > len(correct):
         raise ValueError(f"only {len(correct)} correctly-classified examples available, need {count}")

@@ -64,16 +64,27 @@ def format_table45(rows: dict[str, dict[str, dict[str, float]]], dataset: str) -
 
 
 def format_table6(rows: list[dict[str, float]], dataset: str) -> str:
-    """Table 6: runtime vs adversarial percentage."""
-    lines = [
-        f"RUNNING TIME VS ADVERSARIAL PERCENTAGE ({dataset})",
-        f"{'% adv':>8} {'DCN (s)':>10} {'RC (s)':>10} {'DCN acc':>9} {'RC acc':>9}",
-    ]
+    """Table 6: runtime vs adversarial percentage.
+
+    Rows produced by the engine-instrumented harness additionally carry
+    ``dcn_forward_examples`` / ``rc_forward_examples`` — host-independent
+    forward-pass counts — which get two extra columns when present.
+    """
+    with_forwards = bool(rows) and all(
+        "dcn_forward_examples" in row and "rc_forward_examples" in row for row in rows
+    )
+    header = f"{'% adv':>8} {'DCN (s)':>10} {'RC (s)':>10} {'DCN acc':>9} {'RC acc':>9}"
+    if with_forwards:
+        header += f" {'DCN fwd':>9} {'RC fwd':>9}"
+    lines = [f"RUNNING TIME VS ADVERSARIAL PERCENTAGE ({dataset})", header]
     for row in rows:
-        lines.append(
+        line = (
             f"{100 * row['fraction']:>7.0f}% {row['dcn_seconds']:>10.2f} {row['rc_seconds']:>10.2f}"
             f" {_pct(row['dcn_accuracy']):>9} {_pct(row['rc_accuracy']):>9}"
         )
+        if with_forwards:
+            line += f" {int(row['dcn_forward_examples']):>9} {int(row['rc_forward_examples']):>9}"
+        lines.append(line)
     return "\n".join(lines)
 
 

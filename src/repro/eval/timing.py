@@ -1,16 +1,26 @@
-"""Wall-clock measurement helpers (paper Tables 3/6, Figs. 4/5)."""
+"""Wall-clock and forward-pass measurement helpers (paper Tables 3/6, Figs. 4/5).
+
+Wall-clock numbers depend on the host; the engine counters do not.  The
+paper's Table 6 argument — DCN runs the expensive region corrector only on
+the flagged fraction, so its cost scales with the adversarial fraction
+while RC's stays flat — is a statement about *forward passes*, which
+:func:`profile_defense` measures exactly via the protected model's
+:class:`~repro.nn.engine.InferenceEngine` counters.
+"""
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
 
 from ..defenses.base import Defense
+from ..nn.engine import InferenceEngine, counter_delta
 
-__all__ = ["stopwatch", "time_defense"]
+__all__ = ["stopwatch", "time_defense", "DefenseProfile", "profile_defense"]
 
 
 @contextmanager
@@ -29,3 +39,39 @@ def time_defense(defense: Defense, x: np.ndarray) -> tuple[np.ndarray, float]:
     start = time.perf_counter()
     labels = defense.classify(x)
     return labels, time.perf_counter() - start
+
+
+@dataclass
+class DefenseProfile:
+    """Labels plus the cost of producing them.
+
+    ``forward_examples`` is the number of examples pushed through the
+    underlying network while classifying — e.g. RC with ``m`` votes on
+    ``n`` inputs costs ``n * m``, DCN costs ``n + flagged * m``.
+    """
+
+    labels: np.ndarray
+    seconds: float
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def forward_examples(self) -> int:
+        return int(self.counters.get("examples", 0))
+
+    @property
+    def forward_batches(self) -> int:
+        return int(self.counters.get("forward_batches", 0))
+
+
+def profile_defense(defense: Defense, x: np.ndarray, engine: InferenceEngine) -> DefenseProfile:
+    """Classify ``x`` while measuring wall clock *and* engine counters.
+
+    ``engine`` should be the engine of the network the defense queries
+    (usually ``defense.network.engine``); the returned profile carries the
+    counter deltas attributable to this call.
+    """
+    before = engine.counters.snapshot()
+    start = time.perf_counter()
+    labels = defense.classify(x)
+    seconds = time.perf_counter() - start
+    return DefenseProfile(labels=labels, seconds=seconds, counters=counter_delta(before, engine.counters))

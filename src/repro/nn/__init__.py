@@ -5,6 +5,7 @@ DESIGN.md §2 for the substitution rationale.
 """
 
 from . import gradcheck, init, losses, metrics, ops, optim, schedules
+from .engine import EngineCounters, InferenceEngine, counter_delta
 from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Tanh
 from .norm import BatchNorm1D, BatchNorm2D
 from .network import Network
@@ -17,6 +18,9 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "Network",
+    "InferenceEngine",
+    "EngineCounters",
+    "counter_delta",
     "Dense",
     "Conv2D",
     "MaxPool2D",

@@ -1,0 +1,334 @@
+"""The inference engine: one batched, instrumented prediction path.
+
+Every *non-differentiable* prediction in the reproduction — defenses,
+correctors, detector queries, attack logit probes, table builders — routes
+through :class:`InferenceEngine`.  The engine owns three concerns the
+callers used to re-implement ad hoc:
+
+Batch planning with a configurable compute dtype
+    Inference runs in ``float32`` by default (training stays ``float64``;
+    see DESIGN.md).  The engine executes its own raw-NumPy kernels per
+    layer type — no autograd graph, no :class:`~repro.nn.tensor.Tensor`
+    wrappers — with parameters cast once into a staleness-checked cache,
+    so the hot im2col matmuls genuinely run in single precision.
+
+A bounded content-hash memo
+    The evaluation harness queries the same pools repeatedly (Table 2's
+    benign seeds are also the detector's inputs; Tables 4/5/6 re-classify
+    the same adversarial arrays).  Identical inputs hit an LRU memo keyed
+    by a digest of the array bytes instead of re-running the CNN.  Paths
+    that classify freshly sampled noise (the region vote, attack inner
+    loops) opt out with ``memo=False`` so they cannot pollute the cache.
+
+Built-in counters
+    ``engine.counters`` tracks logit requests, batched forward calls,
+    examples actually pushed through the network, memo hits/misses and
+    wall-clock seconds — which turns the paper's runtime-vs-fraction
+    accounting (Table 6 / Fig. 5) into an observable property of the
+    engine rather than stopwatch code around each defense.
+
+Networks whose layers the engine does not know fall back to the legacy
+``network.forward`` float64 path (still batched, instrumented, memoised).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Tanh
+from .norm import _BatchNormBase
+from .ops import im2col
+from .tensor import Tensor, no_grad
+
+if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
+    from .network import Network
+
+__all__ = ["InferenceEngine", "EngineCounters", "counter_delta"]
+
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass
+class EngineCounters:
+    """Cumulative work counters of one engine (see :func:`counter_delta`)."""
+
+    requests: int = 0  # logits() calls answered (memo hits included)
+    forward_batches: int = 0  # batched network executions
+    examples: int = 0  # rows actually pushed through the network
+    memo_hits: int = 0
+    memo_misses: int = 0
+    seconds: float = 0.0  # wall clock spent inside batched forwards
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+    def snapshot(self) -> "EngineCounters":
+        return replace(self)
+
+
+def counter_delta(before: EngineCounters, after: EngineCounters) -> dict[str, float]:
+    """Per-field difference of two counter snapshots (after − before)."""
+    a, b = after.as_dict(), before.as_dict()
+    return {key: a[key] - b[key] for key in a}
+
+
+class InferenceEngine:
+    """Batched, memoised, dtype-configurable inference for one network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.nn.network.Network` whose predictions this
+        engine serves.  Parameters are read live — ``load_state`` or an
+        optimiser step is picked up automatically (both rebind the
+        parameter arrays, which invalidates the cast cache and memo).
+    dtype:
+        Compute dtype of the inference kernels.  ``float32`` (default) is
+        ~2× faster on the BLAS-backed im2col matmuls; ``float64``
+        reproduces the legacy path bit-for-bit.
+    batch_size:
+        Default batch plan; per-call ``batch_size`` overrides it.
+    memo_entries:
+        Capacity of the logits memo (LRU eviction).  ``0`` disables it.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        dtype: np.dtype | type = np.float32,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        memo_entries: int = 64,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if memo_entries < 0:
+            raise ValueError("memo_entries must be >= 0")
+        self.network = network
+        self.dtype = np.dtype(dtype)
+        self.batch_size = batch_size
+        self.memo_entries = memo_entries
+        self.counters = EngineCounters()
+        self._memo: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        # param-id -> (source array ref, cast copy); identity-checked so a
+        # rebound parameter (optimiser step, load_state) recasts lazily.
+        self._casts: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Strong refs backing the memo's validity: if any parameter array
+        # identity changes, every memoised result is stale.
+        self._memo_param_refs: list[np.ndarray] = []
+        self._kernels = self._compile()
+
+    # -- public API -----------------------------------------------------------
+
+    def logits(self, x: np.ndarray, batch_size: int | None = None, memo: bool = True) -> np.ndarray:
+        """Batched logits ``H(x)``; the single choke point for inference.
+
+        Memoised results are returned as read-only arrays (they are shared
+        across calls); copy before mutating.
+        """
+        x = np.ascontiguousarray(np.asarray(x), dtype=self.dtype)
+        self.counters.requests += 1
+        if len(x) == 0:
+            return np.zeros((0,) + self.network.output_shape, dtype=self.dtype)
+        use_memo = memo and self.memo_entries > 0
+        key = b""
+        if use_memo:
+            key = self._memo_key(x)
+            hit = self._memo_lookup(key)
+            if hit is not None:
+                self.counters.memo_hits += 1
+                return hit
+            self.counters.memo_misses += 1
+        out = self._run_batches(x, batch_size or self.batch_size)
+        if use_memo:
+            self._memo_store(key, out)
+        return out
+
+    def softmax(
+        self,
+        x: np.ndarray,
+        temperature: float = 1.0,
+        batch_size: int | None = None,
+        memo: bool = True,
+    ) -> np.ndarray:
+        """Softmax probabilities, optionally temperature-scaled.
+
+        Normalisation happens in float64 regardless of the engine dtype —
+        the forward pass dominates the cost, and downstream consumers
+        (distillation soft labels, squeezing's L1 scores) expect rows
+        that sum to 1 at full precision.
+        """
+        logits = self.logits(x, batch_size=batch_size, memo=memo).astype(np.float64)
+        scaled = logits / temperature
+        shifted = scaled - scaled.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=-1, keepdims=True)
+
+    def predict(self, x: np.ndarray, batch_size: int | None = None, memo: bool = True) -> np.ndarray:
+        """Hard labels: ``argmax_i H(x)_i``."""
+        return self.logits(x, batch_size=batch_size, memo=memo).argmax(axis=-1)
+
+    def accuracy(
+        self, x: np.ndarray, labels: np.ndarray, batch_size: int | None = None, memo: bool = True
+    ) -> float:
+        predictions = self.predict(x, batch_size=batch_size, memo=memo)
+        return float((predictions == np.asarray(labels)).mean())
+
+    def reset_counters(self) -> None:
+        self.counters = EngineCounters()
+
+    def invalidate(self) -> None:
+        """Drop the memo and every cached parameter cast."""
+        self._memo.clear()
+        self._casts.clear()
+        self._memo_param_refs = []
+
+    @property
+    def supports_native(self) -> bool:
+        """Whether every layer runs on the engine's raw-NumPy kernels."""
+        return self._kernels is not None
+
+    # -- memo -----------------------------------------------------------------
+
+    def _memo_key(self, x: np.ndarray) -> bytes:
+        digest = hashlib.sha1(x.data)
+        digest.update(repr((x.shape, str(self.dtype))).encode())
+        return digest.digest()
+
+    def _memo_lookup(self, key: bytes) -> np.ndarray | None:
+        if not self._params_unchanged():
+            self._memo.clear()
+            self._memo_param_refs = [p.data for p in self.network.parameters()]
+            return None
+        hit = self._memo.get(key)
+        if hit is not None:
+            self._memo.move_to_end(key)
+        return hit
+
+    def _memo_store(self, key: bytes, value: np.ndarray) -> None:
+        value.setflags(write=False)
+        self._memo[key] = value
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.memo_entries:
+            self._memo.popitem(last=False)
+
+    def _params_unchanged(self) -> bool:
+        refs = self._memo_param_refs
+        params = list(self.network.parameters())
+        return len(refs) == len(params) and all(p.data is ref for p, ref in zip(params, refs))
+
+    # -- execution ------------------------------------------------------------
+
+    def _run_batches(self, x: np.ndarray, batch_size: int) -> np.ndarray:
+        start = time.perf_counter()
+        outputs = []
+        for begin in range(0, len(x), batch_size):
+            batch = x[begin : begin + batch_size]
+            self.counters.forward_batches += 1
+            self.counters.examples += len(batch)
+            outputs.append(self._forward(batch))
+        result = outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
+        self.counters.seconds += time.perf_counter() - start
+        return result
+
+    def _forward(self, batch: np.ndarray) -> np.ndarray:
+        if self._kernels is None:
+            # Legacy fallback for unknown layer types: float64 autograd
+            # forward with graph recording disabled.
+            with no_grad():
+                return self.network.forward(Tensor(batch)).data
+        out = batch
+        for kernel in self._kernels:
+            out = kernel(out)
+        return out
+
+    # -- kernel compilation ----------------------------------------------------
+
+    def _compile(self) -> list[Callable[[np.ndarray], np.ndarray]] | None:
+        kernels = []
+        for layer in self.network.layers:
+            kernel = self._kernel_for(layer)
+            if kernel is None:
+                return None
+            kernels.append(kernel)
+        return kernels
+
+    def _kernel_for(self, layer) -> Callable[[np.ndarray], np.ndarray] | None:
+        if isinstance(layer, Dense):
+            weight, bias = layer.params["weight"], layer.params["bias"]
+            return lambda x: x @ self._cast(weight) + self._cast(bias)
+        if isinstance(layer, Conv2D):
+            return self._conv_kernel(layer)
+        if isinstance(layer, MaxPool2D):
+            return lambda x: _max_pool(x, layer.size, layer.stride)
+        if isinstance(layer, AvgPool2D):
+            return lambda x: _avg_pool(x, layer.size)
+        if isinstance(layer, Flatten):
+            return lambda x: x.reshape(len(x), -1)
+        if isinstance(layer, ReLU):
+            return lambda x: np.maximum(x, 0.0, dtype=x.dtype)
+        if isinstance(layer, Tanh):
+            return np.tanh
+        if isinstance(layer, Dropout):
+            return lambda x: x  # inference-time identity
+        if isinstance(layer, _BatchNormBase):
+            return self._batchnorm_kernel(layer)
+        return None
+
+    def _conv_kernel(self, layer: Conv2D) -> Callable[[np.ndarray], np.ndarray]:
+        weight, bias = layer.params["weight"], layer.params["bias"]
+        stride, padding, kernel = layer.stride, layer.padding, layer.kernel_size
+        c_out = layer.out_channels
+
+        def run(x: np.ndarray) -> np.ndarray:
+            if padding:
+                x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+            n, _, h, w = x.shape
+            out_h = (h - kernel) // stride + 1
+            out_w = (w - kernel) // stride + 1
+            cols = im2col(x, kernel, stride)
+            w_mat = self._cast(weight).reshape(c_out, -1)
+            out = cols @ w_mat.T + self._cast(bias)
+            return np.ascontiguousarray(out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
+
+        return run
+
+    def _batchnorm_kernel(self, layer: _BatchNormBase) -> Callable[[np.ndarray], np.ndarray]:
+        def run(x: np.ndarray) -> np.ndarray:
+            # Recomputed per batch from the live running statistics; the
+            # vectors are tiny, so the cast cost is negligible.
+            scale = layer.params["gamma"].data / np.sqrt(layer.running_var + layer.eps)
+            shift = layer.params["beta"].data - layer.running_mean * scale
+            shape = layer._shape
+            return x * scale.reshape(shape).astype(x.dtype) + shift.reshape(shape).astype(x.dtype)
+
+        return run
+
+    def _cast(self, param: Tensor) -> np.ndarray:
+        """Cached dtype cast of a parameter, identity-checked for staleness."""
+        source = param.data
+        entry = self._casts.get(id(param))
+        if entry is None or entry[0] is not source:
+            entry = (source, np.ascontiguousarray(source, dtype=self.dtype))
+            self._casts[id(param)] = entry
+        return entry[1]
+
+
+def _max_pool(x: np.ndarray, size: int, stride: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    if stride == size and h % size == 0 and w % size == 0:
+        return x.reshape(n, c, h // size, size, w // size, size).max(axis=(3, 5))
+    out_h = (h - size) // stride + 1
+    out_w = (w - size) // stride + 1
+    cols = im2col(x.reshape(n * c, 1, h, w), size, stride)
+    return cols.max(axis=1).reshape(n, c, out_h, out_w)
+
+
+def _avg_pool(x: np.ndarray, size: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    return x.reshape(n, c, h // size, size, w // size, size).mean(axis=(3, 5), dtype=x.dtype)

@@ -12,7 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from .layers import Layer
-from .tensor import Tensor, no_grad
+from .tensor import Tensor
 
 __all__ = ["Network"]
 
@@ -33,6 +33,28 @@ class Network:
     def __init__(self, layers: Sequence[Layer], input_shape: tuple[int, ...]):
         self.layers = list(layers)
         self.input_shape = tuple(input_shape)
+        self._engine = None
+
+    # -- inference engine -------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The attached :class:`~repro.nn.engine.InferenceEngine` (lazy).
+
+        Every non-differentiable prediction (``logits`` / ``softmax`` /
+        ``predict`` / ``accuracy``) delegates here; attach a custom engine
+        via :meth:`attach_engine` to change dtype, batch plan or memo size.
+        """
+        if self._engine is None:
+            from .engine import InferenceEngine  # deferred: engine imports layers
+
+            self._engine = InferenceEngine(self)
+        return self._engine
+
+    def attach_engine(self, engine) -> "Network":
+        """Replace the attached inference engine; returns ``self``."""
+        self._engine = engine
+        return self
 
     # -- shape bookkeeping ----------------------------------------------------
 
@@ -60,31 +82,19 @@ class Network:
         return out
 
     def logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Non-differentiable batched logits for inference paths."""
-        x = np.asarray(x, dtype=np.float64)
-        if len(x) == 0:
-            return np.zeros((0,) + self.output_shape)
-        outputs = []
-        with no_grad():
-            for start in range(0, len(x), batch_size):
-                batch = Tensor(x[start : start + batch_size])
-                outputs.append(self.forward(batch).data)
-        return np.concatenate(outputs, axis=0)
+        """Non-differentiable batched logits, served by the attached engine."""
+        return self.engine.logits(x, batch_size=batch_size)
 
     def softmax(self, x: np.ndarray, temperature: float = 1.0, batch_size: int = 256) -> np.ndarray:
         """Softmax probabilities, optionally temperature-scaled."""
-        logits = self.logits(x, batch_size=batch_size)
-        scaled = logits / temperature
-        shifted = scaled - scaled.max(axis=-1, keepdims=True)
-        exps = np.exp(shifted)
-        return exps / exps.sum(axis=-1, keepdims=True)
+        return self.engine.softmax(x, temperature=temperature, batch_size=batch_size)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Hard labels: ``argmax_i softmax(H(x))_i``."""
-        return self.logits(x, batch_size=batch_size).argmax(axis=-1)
+        return self.engine.predict(x, batch_size=batch_size)
 
     def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
-        return float((self.predict(x, batch_size=batch_size) == np.asarray(labels)).mean())
+        return self.engine.accuracy(x, labels, batch_size=batch_size)
 
     # -- parameters ---------------------------------------------------------------
 

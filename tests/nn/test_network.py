@@ -57,9 +57,11 @@ class TestInference:
         np.testing.assert_array_equal(small_cnn.predict(x), small_cnn.logits(x).argmax(axis=1))
 
     def test_batched_logits_match_single_pass(self, small_cnn):
+        # Inference runs on the engine's float32 kernels, where BLAS
+        # blocking differs per batch shape — tolerance, not bit equality.
         x = np.random.default_rng(0).normal(size=(7, 1, 8, 8))
         np.testing.assert_allclose(
-            small_cnn.logits(x, batch_size=2), small_cnn.logits(x, batch_size=256), atol=1e-12
+            small_cnn.logits(x, batch_size=2), small_cnn.logits(x, batch_size=256), atol=1e-5
         )
 
     def test_temperature_softmax_flatter(self, small_cnn):

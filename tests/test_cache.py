@@ -53,3 +53,59 @@ class TestMemoizeArrays:
 
     def test_env_var_controls_location(self, isolated_cache):
         assert cache_dir() == isolated_cache
+
+
+class TestCorruptArchives:
+    """A damaged cache must behave like a miss, never wedge the suite."""
+
+    def _cache_file(self, isolated_cache, spec):
+        files = list(isolated_cache.glob(f"{spec['kind']}-*.npz"))
+        assert len(files) == 1
+        return files[0]
+
+    def test_truncated_archive_rebuilds(self, isolated_cache):
+        spec = {"kind": "trunc"}
+        memoize_arrays(spec, lambda: {"x": np.arange(6.0)})
+        path = self._cache_file(isolated_cache, spec)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        rebuilt = memoize_arrays(spec, lambda: {"x": np.arange(6.0) + 1})
+        np.testing.assert_array_equal(rebuilt["x"], np.arange(6.0) + 1)
+        # The rebuilt archive replaced the corrupt one and loads cleanly.
+        again = memoize_arrays(spec, lambda: pytest.fail("must not rebuild"))
+        np.testing.assert_array_equal(again["x"], np.arange(6.0) + 1)
+
+    def test_garbage_bytes_rebuild(self, isolated_cache):
+        spec = {"kind": "garbage"}
+        memoize_arrays(spec, lambda: {"x": np.zeros(3)})
+        self._cache_file(isolated_cache, spec).write_bytes(b"not a zip archive")
+        rebuilt = memoize_arrays(spec, lambda: {"x": np.ones(3)})
+        np.testing.assert_array_equal(rebuilt["x"], np.ones(3))
+
+    def test_empty_file_rebuilds(self, isolated_cache):
+        spec = {"kind": "empty"}
+        memoize_arrays(spec, lambda: {"x": np.zeros(2)})
+        self._cache_file(isolated_cache, spec).write_bytes(b"")
+        rebuilt = memoize_arrays(spec, lambda: {"x": np.full(2, 7.0)})
+        np.testing.assert_array_equal(rebuilt["x"], np.full(2, 7.0))
+
+    def test_no_tmp_files_left_behind(self, isolated_cache):
+        memoize_arrays({"kind": "tidy"}, lambda: {"x": np.zeros(1)})
+        assert not list(isolated_cache.glob("*.tmp-*"))
+
+    def test_tmp_name_is_pid_unique(self, isolated_cache, monkeypatch):
+        """Concurrent processes must not share a temp file name."""
+        import os as _os
+
+        import repro.cache as cache_module
+
+        seen = []
+        real_replace = _os.replace
+
+        def spy(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_module.os, "replace", spy)
+        memoize_arrays({"kind": "pid"}, lambda: {"x": np.zeros(1)})
+        assert seen and f".tmp-{_os.getpid()}.npz" in seen[0]
