@@ -14,3 +14,7 @@ python -m compileall -q src benchmarks scripts
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
+
+echo "== gradient-engine benchmark (smoke) =="
+python benchmarks/bench_grad_throughput.py --smoke > /dev/null
+echo "ok"

@@ -10,7 +10,10 @@ try; both are implemented here so the defense can be stress-tested:
    margin term computed *through the detector*: the combined loss is
    ``‖δ‖² + c·f(x') + c_d·g(x')`` where ``g`` is the hinge margin of the
    detector's adversarial score over its benign score.  The gradient flows
-   through the composition detector(protected-model(x')).
+   through the composition detector(protected-model(x')) — implemented by
+   chaining the two networks' gradient engines: the detector's input
+   cotangent is added to the model's logit cotangent before the model's
+   single backward pass.
 """
 
 from __future__ import annotations
@@ -19,11 +22,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..nn import ops
+from ..nn.grad_engine import margin_seed
 from ..nn.network import Network
-from ..nn.tensor import Tensor
 from .base import AttackResult
-from .cw import AdamState, _margin_loss, _to_w
+from .cw import AdamState, _to_w
 
 if TYPE_CHECKING:  # pragma: no cover - import avoided at runtime (cycle)
     from ..core.detector import LogitDetector
@@ -90,14 +92,9 @@ class DetectorAwareCWL2:
         source_labels = np.asarray(source_labels)
         target_labels = np.asarray(target_labels)
         n = len(x)
-        onehot = np.zeros((n, network.num_classes))
-        onehot[np.arange(n), target_labels] = 1.0
         axes = tuple(range(1, x.ndim))
-        # Detector's benign/adversarial selector rows.
-        benign_sel = np.zeros((n, 2))
-        benign_sel[:, BENIGN] = 1.0
-        adv_sel = np.zeros((n, 2))
-        adv_sel[:, ADVERSARIAL] = 1.0
+        model_engine = network.grad_engine
+        detector_engine = self.detector.network.grad_engine
 
         c = np.full(n, self.initial_c)
         c_low = np.zeros(n)
@@ -110,31 +107,36 @@ class DetectorAwareCWL2:
             w = _to_w(x)
             adam = AdamState(w.shape, self.learning_rate)
             for _ in range(self.max_iterations):
-                w_tensor = Tensor(w, requires_grad=True)
-                candidate = ops.mul(ops.tanh(w_tensor), 0.5)
-                delta = candidate - Tensor(x)
-                l2_sq = ops.sum_(ops.mul(delta, delta), axis=axes)
-                logits = network.forward(candidate)
-                f = _margin_loss(logits, onehot, self.confidence)
-                det_scores = self.detector.network.forward(logits)
-                det_adv = ops.sum_(ops.mul(det_scores, adv_sel), axis=-1)
-                det_benign = ops.sum_(ops.mul(det_scores, benign_sel), axis=-1)
-                g = ops.maximum(
-                    det_adv - det_benign + self.detector_confidence, Tensor(np.zeros(n))
+                tanh_w = np.tanh(w)
+                candidate = tanh_w * 0.5
+                delta = candidate - x
+                l2_sq = (delta * delta).sum(axis=axes)
+                logits, model_ctx = model_engine.forward(candidate)
+                f_seed, _ = margin_seed(logits, target_labels, self.confidence)
+
+                # Detector hinge g = max(s_adv − s_benign + κ_d, 0); its
+                # cotangent flows back to the model's logits first.
+                det_scores, det_ctx = detector_engine.forward(logits)
+                scores = det_scores.astype(np.float64)
+                g_active = (
+                    scores[:, ADVERSARIAL] - scores[:, BENIGN] + self.detector_confidence >= 0.0
                 )
-                loss = ops.sum_(l2_sq + ops.mul(f, Tensor(c)) + ops.mul(g, self.detector_weight * c))
-                loss.backward()
+                det_seed = np.zeros((n, 2))
+                det_seed[:, ADVERSARIAL] = self.detector_weight * c * g_active
+                det_seed[:, BENIGN] = -self.detector_weight * c * g_active
+                logit_seed = c[:, None] * f_seed + detector_engine.backward(det_ctx, det_seed)
+                grad_candidate = model_engine.backward(model_ctx, logit_seed)
 
                 # Track successes: target hit AND detector bypassed.
-                z = logits.data
-                hit = z.argmax(axis=-1) == target_labels
-                bypassed = ~self.detector.is_adversarial(z)
-                better = hit & bypassed & (l2_sq.data < best_l2)
-                best_adv[better] = candidate.data[better]
-                best_l2[better] = l2_sq.data[better]
+                hit = logits.argmax(axis=-1) == target_labels
+                bypassed = ~self.detector.is_adversarial(logits)
+                better = hit & bypassed & (l2_sq < best_l2)
+                best_adv[better] = candidate[better]
+                best_l2[better] = l2_sq[better]
                 found |= hit & bypassed
 
-                w = adam.update(w, w_tensor.grad)
+                grad_w = (2.0 * delta + grad_candidate) * (0.5 * (1.0 - tanh_w * tanh_w))
+                w = adam.update(w, grad_w)
 
             succeeded_now = found & (best_l2 < np.inf)
             c_high = np.where(succeeded_now, np.minimum(c_high, c), c_high)

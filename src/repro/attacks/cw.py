@@ -17,6 +17,12 @@ entire evaluation (Sec. 5.1):
 All three are batched: one forward/backward pass drives every example (and
 every target) simultaneously, which is what makes the paper's 100-seed ×
 9-target evaluation feasible on this NumPy substrate.
+
+The inner loops run on the network's :class:`~repro.nn.grad_engine.GradientEngine`
+(float32 fused kernels by default): the engine supplies ``∂f/∂x'``, the
+logits and the raw margin in one pass, while the change-of-variable algebra
+(tanh transform, distance terms, Adam state) stays in float64 NumPy here so
+box arithmetic — e.g. frozen L0 pixels — remains exact.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn import ops
+from ..nn.grad_engine import margin_seed
 from ..nn.network import Network
 from ..nn.tensor import Tensor
 from .base import AttackResult
@@ -45,12 +52,19 @@ class AdamState:
         self.lr = lr
         self.beta1 = beta1
         self.beta2 = beta2
-        self.m = np.zeros(shape)
-        self.v = np.zeros(shape)
+        self.shape = tuple(shape)
+        # m/v are allocated lazily in the dtype of the first gradient so a
+        # float32 attack keeps float32 optimiser state end-to-end.
+        self.m: np.ndarray | None = None
+        self.v: np.ndarray | None = None
         self.t = 0
 
     def update(self, values: np.ndarray, grad: np.ndarray) -> np.ndarray:
         """Return ``values`` after one Adam step against ``grad``."""
+        grad = np.asarray(grad)
+        if self.m is None:
+            self.m = np.zeros(self.shape, dtype=grad.dtype)
+            self.v = np.zeros(self.shape, dtype=grad.dtype)
         self.t += 1
         self.m = self.beta1 * self.m + (1 - self.beta1) * grad
         self.v = self.beta2 * self.v + (1 - self.beta2) * grad**2
@@ -140,8 +154,6 @@ class CarliniWagnerL2:
         source_labels = np.asarray(source_labels)
         target_labels = np.asarray(target_labels)
         n = len(x)
-        onehot = np.zeros((n, network.num_classes))
-        onehot[np.arange(n), target_labels] = 1.0
 
         c = np.full(n, self.initial_c)
         c_low = np.zeros(n)
@@ -155,7 +167,7 @@ class CarliniWagnerL2:
             previous_loss = np.inf
             check_every = max(1, self.max_iterations // 10)
             for iteration in range(self.max_iterations):
-                loss_total, adv, l2, margin, grad = self._objective(network, w, x, onehot, c, mask)
+                loss_total, adv, l2, margin, grad = self._objective(network, w, x, target_labels, c, mask)
                 self._record_best(state, adv, l2, margin, target_labels)
                 w = adam.update(w, grad)
                 if self.abort_early and (iteration + 1) % check_every == 0:
@@ -163,7 +175,9 @@ class CarliniWagnerL2:
                         break
                     previous_loss = loss_total
             # Evaluate the final iterate too.
-            _, adv, l2, margin, _ = self._objective(network, w, x, onehot, c, mask, compute_grad=False)
+            _, adv, l2, margin, _ = self._objective(
+                network, w, x, target_labels, c, mask, compute_grad=False
+            )
             self._record_best(state, adv, l2, margin, target_labels)
             succeeded_now = margin <= 0.0
             c_high = np.where(succeeded_now, np.minimum(c_high, c), c_high)
@@ -178,33 +192,41 @@ class CarliniWagnerL2:
         network: Network,
         w: np.ndarray,
         x: np.ndarray,
-        onehot: np.ndarray,
+        target_labels: np.ndarray,
         c: np.ndarray,
         mask: np.ndarray | None,
         compute_grad: bool = True,
     ) -> tuple[float, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
         """One forward (and optionally backward) pass of the CW-L2 objective.
 
-        Returns ``(total_loss, adversarial, l2_sq, margin, grad_w)``.
+        The network pass runs on the gradient engine (float32 kernels by
+        default); the tanh transform, distance terms and chain rule back to
+        ``w`` stay in float64 here.  Returns ``(total_loss, adversarial,
+        l2_sq, margin, grad_w)``.
         """
-        w_tensor = Tensor(w, requires_grad=compute_grad)
-        candidate = ops.mul(ops.tanh(w_tensor), 0.5)
+        tanh_w = np.tanh(w)
+        candidate = tanh_w * 0.5
         if mask is not None:
-            candidate = Tensor(x * (1.0 - mask)) + ops.mul(candidate, mask)
-        delta = candidate - Tensor(x)
-        l2_sq = ops.sum_(ops.mul(delta, delta), axis=_feature_axes(x))
-        logits = network.forward(candidate)
-        f = _margin_loss(logits, onehot, self.confidence)
-        loss = ops.sum_(l2_sq + ops.mul(f, Tensor(c)))
+            candidate = x * (1.0 - mask) + candidate * mask
+        delta = candidate - x
+        axes = _feature_axes(x)
+        c_cols = c.reshape((-1,) + (1,) * len(axes))
+        l2_sq = (delta * delta).sum(axis=axes)
         grad = None
         if compute_grad:
-            loss.backward()
-            grad = w_tensor.grad
+            grad_f, _, margin = network.grad_engine.margin_input_grad(
+                candidate, target_labels, self.confidence
+            )
+            grad_candidate = 2.0 * delta + c_cols * grad_f
+            if mask is not None:
+                grad_candidate = grad_candidate * mask
+            grad = grad_candidate * (0.5 * (1.0 - tanh_w * tanh_w))
+        else:
+            logits = network.engine.logits(candidate, memo=False)
+            _, margin = margin_seed(logits, target_labels, self.confidence)
         # Raw margin (without the hinge) tells us about actual success.
-        z_target = (logits.data * onehot).sum(axis=-1)
-        z_other = (logits.data - onehot * _EXCLUDE).max(axis=-1)
-        margin = z_other - z_target + self.confidence
-        return float(loss.data), candidate.data.copy(), l2_sq.data, margin, grad
+        loss_total = float((l2_sq + c * np.maximum(margin, 0.0)).sum())
+        return loss_total, candidate, l2_sq, margin, grad
 
     @staticmethod
     def _record_best(
@@ -311,11 +333,9 @@ class CarliniWagnerL0:
         active: np.ndarray,
     ) -> None:
         """Freeze the least-important free pixels of each example in ``indices``."""
-        from .gradients import logit_gradient
-
         # ∇f = ∇(Z_other − Z_target); the dominant term near success is the
         # target-logit gradient, which Carlini's code also uses.
-        grad_target = logit_gradient(network, adv[indices], target_labels[indices])
+        grad_target = network.grad_engine.logit_input_grad(adv[indices], target_labels[indices])
         importance = np.abs(grad_target) * np.abs(adv[indices] - x[indices])
         for row, example in enumerate(indices):
             free = mask[example] > 0.5
@@ -374,8 +394,6 @@ class CarliniWagnerLinf:
         source_labels = np.asarray(source_labels)
         target_labels = np.asarray(target_labels)
         n = len(x)
-        onehot = np.zeros((n, network.num_classes))
-        onehot[np.arange(n), target_labels] = 1.0
         axes = _feature_axes(x)
 
         tau = np.full(n, 1.0)
@@ -390,23 +408,24 @@ class CarliniWagnerLinf:
             if not active.any():
                 break
             adam = AdamState(w.shape, self.learning_rate)
+            tau_cols = tau.reshape((-1,) + (1,) * len(axes))
+            c_cols = c.reshape((-1,) + (1,) * len(axes))
             for _ in range(self.max_iterations):
-                w_tensor = Tensor(w, requires_grad=True)
-                candidate = ops.mul(ops.tanh(w_tensor), 0.5)
-                delta = candidate - Tensor(x)
-                excess = ops.maximum(ops.abs_(delta) - Tensor(tau.reshape((-1,) + (1,) * len(axes))), 0.0)
-                penalty = ops.sum_(excess, axis=axes)
-                logits = network.forward(candidate)
-                f = _margin_loss(logits, onehot, self.confidence)
-                loss = ops.sum_(ops.mul(f, Tensor(c)) + penalty)
-                loss.backward()
-                w = adam.update(w, w_tensor.grad)
+                tanh_w = np.tanh(w)
+                candidate = tanh_w * 0.5
+                delta = candidate - x
+                grad_f, _, _ = network.grad_engine.margin_input_grad(
+                    candidate, target_labels, self.confidence
+                )
+                # ∂ Σ max(|δ|−τ, 0) / ∂ candidate: sign(δ) where the excess
+                # hinge is active (boundary follows the autograd convention).
+                penalty_grad = np.sign(delta) * (np.abs(delta) - tau_cols >= 0.0)
+                grad_candidate = c_cols * grad_f + penalty_grad
+                w = adam.update(w, grad_candidate * (0.5 * (1.0 - tanh_w * tanh_w)))
 
             candidate = np.tanh(w) * 0.5
             logits = network.engine.logits(candidate, memo=False)
-            z_target = (logits * onehot).sum(axis=-1)
-            z_other = (logits - onehot * _EXCLUDE).max(axis=-1)
-            margin = z_other - z_target + self.confidence
+            _, margin = margin_seed(logits, target_labels, self.confidence)
             linf = np.abs(candidate - x).reshape(n, -1).max(axis=1)
             succeeded = (margin <= 0.0) & active
             improved = succeeded & (linf < best_linf)

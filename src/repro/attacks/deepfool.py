@@ -11,7 +11,6 @@ import numpy as np
 
 from ..nn.network import Network
 from .base import AttackResult, clip_to_box
-from .gradients import jacobian
 
 __all__ = ["DeepFool"]
 
@@ -46,8 +45,9 @@ class DeepFool:
                 break
             idx = np.flatnonzero(active)
             batch = current[idx]
-            logits = engine.logits(batch, memo=False)
-            grads = jacobian(network, batch)  # (b, classes, *shape)
+            # One engine pass gives the Jacobian and the logits it was
+            # linearised around (shared stashed activations).
+            grads, logits = network.grad_engine.jacobian(batch, with_logits=True)
             b = len(idx)
             flat_grads = grads.reshape(b, grads.shape[1], -1)
             origin = source_labels[idx]

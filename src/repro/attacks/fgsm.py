@@ -11,7 +11,6 @@ import numpy as np
 
 from ..nn.network import Network
 from .base import AttackResult, clip_to_box
-from .gradients import cross_entropy_gradient
 
 __all__ = ["FGSM"]
 
@@ -44,13 +43,13 @@ class FGSM:
         source_labels = np.asarray(source_labels)
         if target_labels is not None:
             target_labels = np.asarray(target_labels)
-            gradient = cross_entropy_gradient(network, x, target_labels)
-            adversarial = clip_to_box(x - self.epsilon * np.sign(gradient))
+            gradient = network.grad_engine.cross_entropy_input_grad(x, target_labels)
+            adversarial = clip_to_box(x - self.epsilon * np.sign(gradient, dtype=np.float64))
             predictions = network.engine.predict(adversarial, memo=False)
             success = predictions == target_labels
         else:
-            gradient = cross_entropy_gradient(network, x, source_labels)
-            adversarial = clip_to_box(x + self.epsilon * np.sign(gradient))
+            gradient = network.grad_engine.cross_entropy_input_grad(x, source_labels)
+            adversarial = clip_to_box(x + self.epsilon * np.sign(gradient, dtype=np.float64))
             predictions = network.engine.predict(adversarial, memo=False)
             success = predictions != source_labels
         return AttackResult(x, adversarial, success, source_labels, target_labels)

@@ -1,52 +1,48 @@
-"""Input-gradient helpers shared by the gradient-based attacks."""
+"""Input-gradient helpers shared by the gradient-based attacks.
+
+Since PR 2 these are thin wrappers over the network's lazily attached
+:class:`~repro.nn.grad_engine.GradientEngine`: fused raw-NumPy
+forward+backward kernels (float32 by default) with an automatic float64
+autograd fallback for unknown layer types.  All three helpers return
+arrays in the engine's compute dtype — ``float32`` unless a custom engine
+was attached via ``Network.attach_grad_engine``.  Callers doing float64
+accumulation (optimiser state, distance bookkeeping) get the usual NumPy
+promotion when they combine these with float64 operands.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..nn import losses, ops
 from ..nn.network import Network
-from ..nn.tensor import Tensor
 
 __all__ = ["cross_entropy_gradient", "logit_gradient", "jacobian"]
 
 
 def cross_entropy_gradient(network: Network, x: np.ndarray, labels: np.ndarray) -> np.ndarray:
-    """``∂ CE(H(x), labels) / ∂x`` summed over the batch (per-example rows)."""
-    labels = np.asarray(labels)
-    inp = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
-    logits = network.forward(inp)
-    # Sum (not mean) so each example's gradient is independent of batch size.
-    targets = losses.one_hot(labels, logits.shape[-1])
-    log_probs = ops.log_softmax(logits)
-    loss = ops.mul(ops.sum_(ops.mul(log_probs, targets)), -1.0)
-    loss.backward()
-    assert inp.grad is not None
-    return inp.grad
+    """``∂ CE(H(x), labels) / ∂x`` summed over the batch (per-example rows).
+
+    Sum (not mean) reduction, so each example's gradient is independent of
+    the batch it rides in.  Returned in the gradient engine's dtype.
+    """
+    return network.grad_engine.cross_entropy_input_grad(x, labels)
 
 
 def logit_gradient(network: Network, x: np.ndarray, class_index: np.ndarray) -> np.ndarray:
-    """``∂ H(x)_{class_index} / ∂x`` for a per-example class index."""
-    class_index = np.asarray(class_index)
-    inp = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
-    logits = network.forward(inp)
-    selector = np.zeros(logits.shape)
-    selector[np.arange(len(class_index)), class_index] = 1.0
-    ops.sum_(ops.mul(logits, selector)).backward()
-    assert inp.grad is not None
-    return inp.grad
+    """``∂ H(x)_{class_index} / ∂x`` for a per-example class index.
+
+    Returned in the gradient engine's dtype.
+    """
+    return network.grad_engine.logit_input_grad(x, class_index)
 
 
 def jacobian(network: Network, x: np.ndarray) -> np.ndarray:
     """Full Jacobian ``∂H(x)_c / ∂x`` of the logits for a batch.
 
-    Returns shape ``(N, num_classes, *input_shape)``.  Computed with one
-    backward pass per class (the standard trick when outputs ≪ inputs);
-    used by JSMA and DeepFool.
+    Returns shape ``(N, num_classes, *input_shape)`` in the gradient
+    engine's dtype (float32 by default — callers needing float64 should
+    cast or attach a float64 engine).  On the engine's native path this is
+    one forward pass plus ``num_classes`` seeded backwards sharing the
+    stashed activations; used by JSMA and DeepFool.
     """
-    x = np.asarray(x, dtype=np.float64)
-    num_classes = network.num_classes
-    rows = np.empty((len(x), num_classes) + x.shape[1:])
-    for c in range(num_classes):
-        rows[:, c] = logit_gradient(network, x, np.full(len(x), c))
-    return rows
+    return network.grad_engine.jacobian(x)

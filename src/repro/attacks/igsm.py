@@ -12,7 +12,6 @@ import numpy as np
 
 from ..nn.network import Network
 from .base import AttackResult, clip_to_box
-from .gradients import cross_entropy_gradient
 
 __all__ = ["IGSM"]
 
@@ -60,11 +59,11 @@ class IGSM:
                 break
             batch = current[active]
             if targeted:
-                gradient = cross_entropy_gradient(network, batch, target_labels[active])
-                stepped = batch - self.alpha * np.sign(gradient)
+                gradient = network.grad_engine.cross_entropy_input_grad(batch, target_labels[active])
+                stepped = batch - self.alpha * np.sign(gradient, dtype=np.float64)
             else:
-                gradient = cross_entropy_gradient(network, batch, source_labels[active])
-                stepped = batch + self.alpha * np.sign(gradient)
+                gradient = network.grad_engine.cross_entropy_input_grad(batch, source_labels[active])
+                stepped = batch + self.alpha * np.sign(gradient, dtype=np.float64)
             stepped = np.clip(stepped, x[active] - self.epsilon, x[active] + self.epsilon)
             current[active] = clip_to_box(stepped)
             predictions = network.engine.predict(current[active], memo=False)

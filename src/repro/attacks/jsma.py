@@ -14,7 +14,6 @@ import numpy as np
 from ..datasets.dataset import PIXEL_MAX, PIXEL_MIN
 from ..nn.network import Network
 from .base import AttackResult
-from .gradients import jacobian
 
 __all__ = ["JSMA"]
 
@@ -89,7 +88,7 @@ class JSMA:
         self, network: Network, image: np.ndarray, target: int
     ) -> tuple[np.ndarray, np.ndarray]:
         """Return flattened (target-gradient, sum-of-other-gradients)."""
-        rows = jacobian(network, image[None])[0]  # (classes, *input_shape)
+        rows = network.grad_engine.jacobian(image[None])[0]  # (classes, *input_shape)
         if not self.use_logits:
             probs = network.engine.softmax(image[None], memo=False)[0]
             # d softmax_c / dx = softmax_c * (grad_c - sum_k softmax_k grad_k)

@@ -12,9 +12,7 @@ import numpy as np
 from scipy import optimize
 
 from ..datasets.dataset import PIXEL_MAX, PIXEL_MIN
-from ..nn import losses, ops
 from ..nn.network import Network
-from ..nn.tensor import Tensor
 from .base import AttackResult
 
 __all__ = ["LBFGSAttack"]
@@ -60,17 +58,24 @@ class LBFGSAttack:
         c = self.initial_c
         best = image
 
+        engine = network.grad_engine
+
         for _ in range(self.c_search_steps):
             def objective(flat: np.ndarray, c=c) -> tuple[float, np.ndarray]:
                 candidate = flat.reshape(shape)
-                inp = Tensor(candidate[None], requires_grad=True)
-                logits = network.forward(inp)
-                ce = losses.cross_entropy(logits, np.array([target]))
-                diff = inp - Tensor(image[None])
-                dist = ops.sum_(ops.mul(diff, diff))
-                loss = ops.mul(ce, c) + dist
-                loss.backward()
-                return float(loss.data), inp.grad.reshape(-1)
+                logits, ctx = engine.forward(candidate[None])
+                # CE and its softmax seed in float64 (scipy wants float64
+                # gradients anyway); the network pass ran in engine dtype.
+                z = logits[0].astype(np.float64)
+                shifted = z - z.max()
+                log_norm = np.log(np.exp(shifted).sum())
+                ce = log_norm - shifted[target]
+                seed = np.exp(shifted - log_norm)[None, :]
+                seed[0, target] -= 1.0
+                grad_ce = engine.backward(ctx, c * seed)[0].astype(np.float64)
+                diff = candidate - image
+                loss = c * ce + (diff * diff).sum()
+                return float(loss), (grad_ce + 2.0 * diff).reshape(-1)
 
             result = optimize.minimize(
                 objective,

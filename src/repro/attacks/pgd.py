@@ -12,7 +12,6 @@ import numpy as np
 
 from ..nn.network import Network
 from .base import AttackResult, clip_to_box
-from .gradients import cross_entropy_gradient
 
 __all__ = ["PGD"]
 
@@ -90,10 +89,10 @@ class PGD:
         current = clip_to_box(x + start_noise)
         for _ in range(self.steps):
             if targets is not None:
-                gradient = cross_entropy_gradient(network, current, targets)
-                current = current - self.alpha * np.sign(gradient)
+                gradient = network.grad_engine.cross_entropy_input_grad(current, targets)
+                current = current - self.alpha * np.sign(gradient, dtype=np.float64)
             else:
-                gradient = cross_entropy_gradient(network, current, sources)
-                current = current + self.alpha * np.sign(gradient)
+                gradient = network.grad_engine.cross_entropy_input_grad(current, sources)
+                current = current + self.alpha * np.sign(gradient, dtype=np.float64)
             current = clip_to_box(np.clip(current, x - self.epsilon, x + self.epsilon))
         return current

@@ -269,11 +269,15 @@ def table6_runtime_vs_fraction(
     through the protected model (engine counters): RC votes on everything
     (``total * m`` forwards) while DCN pays one detector sweep plus the
     corrector only on flagged inputs — the paper's Table 6 scaling claim
-    in machine-checkable form.
+    in machine-checkable form.  Backward-pass counts (gradient-engine
+    counters) ride along too: both defenses classify without gradients, so
+    nonzero backwards would flag a defense quietly differentiating through
+    the protected model.
     """
     pool = ctx.pool("cw-l2")
     adv_images, adv_labels, _ = pool.successful()
     engine = ctx.model.engine
+    grad_engine = ctx.model.grad_engine
     rng = np.random.default_rng(seed)
     rows = []
     for fraction in fractions:
@@ -285,8 +289,8 @@ def table6_runtime_vs_fraction(
         y = np.concatenate([y_benign, adv_labels[pick]])
         order = rng.permutation(total)
         x, y = x[order], y[order]
-        dcn = profile_defense(ctx.dcn, x, engine)
-        rc = profile_defense(ctx.rc, x, engine)
+        dcn = profile_defense(ctx.dcn, x, engine, grad_engine=grad_engine)
+        rc = profile_defense(ctx.rc, x, engine, grad_engine=grad_engine)
         rows.append(
             {
                 "fraction": fraction,
@@ -296,6 +300,8 @@ def table6_runtime_vs_fraction(
                 "rc_accuracy": float((rc.labels == y).mean()),
                 "dcn_forward_examples": dcn.forward_examples,
                 "rc_forward_examples": rc.forward_examples,
+                "dcn_backward_examples": dcn.backward_examples,
+                "rc_backward_examples": rc.backward_examples,
             }
         )
     return rows

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..defenses.base import Defense
 from ..nn.engine import InferenceEngine, counter_delta
+from ..nn.grad_engine import GradientEngine
 
 __all__ = ["stopwatch", "time_defense", "DefenseProfile", "profile_defense"]
 
@@ -48,6 +49,12 @@ class DefenseProfile:
     ``forward_examples`` is the number of examples pushed through the
     underlying network while classifying — e.g. RC with ``m`` votes on
     ``n`` inputs costs ``n * m``, DCN costs ``n + flagged * m``.
+
+    When a gradient engine was profiled too, its counter deltas appear
+    under a ``grad_`` prefix (``grad_backward_batches``, ``grad_examples``,
+    …); the ``backward_*`` properties read them.  Plain classification
+    reports zero backwards — nonzero counts flag defenses (or adaptive
+    attackers) that differentiate through the protected model.
     """
 
     labels: np.ndarray
@@ -62,16 +69,36 @@ class DefenseProfile:
     def forward_batches(self) -> int:
         return int(self.counters.get("forward_batches", 0))
 
+    @property
+    def backward_examples(self) -> int:
+        return int(self.counters.get("grad_examples", 0))
 
-def profile_defense(defense: Defense, x: np.ndarray, engine: InferenceEngine) -> DefenseProfile:
+    @property
+    def backward_batches(self) -> int:
+        return int(self.counters.get("grad_backward_batches", 0))
+
+
+def profile_defense(
+    defense: Defense,
+    x: np.ndarray,
+    engine: InferenceEngine,
+    grad_engine: GradientEngine | None = None,
+) -> DefenseProfile:
     """Classify ``x`` while measuring wall clock *and* engine counters.
 
     ``engine`` should be the engine of the network the defense queries
     (usually ``defense.network.engine``); the returned profile carries the
-    counter deltas attributable to this call.
+    counter deltas attributable to this call.  Pass the network's
+    ``grad_engine`` as well to also capture backward-pass deltas (prefixed
+    ``grad_`` in :attr:`DefenseProfile.counters`).
     """
     before = engine.counters.snapshot()
+    grad_before = grad_engine.counters.snapshot() if grad_engine is not None else None
     start = time.perf_counter()
     labels = defense.classify(x)
     seconds = time.perf_counter() - start
-    return DefenseProfile(labels=labels, seconds=seconds, counters=counter_delta(before, engine.counters))
+    counters = counter_delta(before, engine.counters)
+    if grad_engine is not None:
+        grad_delta = counter_delta(grad_before, grad_engine.counters)
+        counters.update({f"grad_{key}": value for key, value in grad_delta.items()})
+    return DefenseProfile(labels=labels, seconds=seconds, counters=counters)

@@ -6,7 +6,8 @@ DESIGN.md §2 for the substitution rationale.
 
 from . import gradcheck, init, losses, metrics, ops, optim, schedules
 from .engine import EngineCounters, InferenceEngine, counter_delta
-from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Tanh
+from .grad_engine import GradientCounters, GradientEngine
+from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
 from .norm import BatchNorm1D, BatchNorm2D
 from .network import Network
 from .optim import SGD, Adam
@@ -21,6 +22,8 @@ __all__ = [
     "InferenceEngine",
     "EngineCounters",
     "counter_delta",
+    "GradientEngine",
+    "GradientCounters",
     "Dense",
     "Conv2D",
     "MaxPool2D",
@@ -30,6 +33,7 @@ __all__ = [
     "Flatten",
     "ReLU",
     "Tanh",
+    "Sigmoid",
     "Dropout",
     "SGD",
     "Adam",

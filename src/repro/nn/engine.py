@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Tanh
+from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
 from .norm import _BatchNormBase
 from .ops import im2col
 from .tensor import Tensor, no_grad
@@ -274,6 +274,8 @@ class InferenceEngine:
             return lambda x: np.maximum(x, 0.0, dtype=x.dtype)
         if isinstance(layer, Tanh):
             return np.tanh
+        if isinstance(layer, Sigmoid):
+            return lambda x: 1.0 / (1.0 + np.exp(-x))
         if isinstance(layer, Dropout):
             return lambda x: x  # inference-time identity
         if isinstance(layer, _BatchNormBase):

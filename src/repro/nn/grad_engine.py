@@ -1,0 +1,544 @@
+"""The gradient engine: fused forward+backward kernels for the attack hot path.
+
+Where :class:`~repro.nn.engine.InferenceEngine` (PR 1) gave every
+*prediction* a raw-NumPy fast path, this module does the same for the
+evaluation's true cost centre: the input gradients ``∂loss/∂x`` that every
+gradient-based attack (FGSM/IGSM/PGD, L-BFGS, DeepFool, JSMA, the CW suite
+and the adaptive detector-aware CW) recomputes thousands of times.  The
+legacy path builds a full float64 autograd graph per iteration — one Python
+closure per op, one float64 temporary per edge.  The engine instead runs
+hand-written, dtype-configurable (float32 by default) forward and backward
+kernels with no :class:`~repro.nn.tensor.Tensor` wrappers at all:
+
+Fused forward/backward with stashed activations
+    :meth:`forward` runs the network once and returns ``(logits, ctx)``
+    where ``ctx`` captures exactly what each layer's backward needs (ReLU
+    masks, pool argmaxes, conv geometries).  :meth:`backward` seeds the
+    logits with an arbitrary cotangent and replays the stack in reverse.
+    Because the context is reusable, :meth:`jacobian` does **one** forward
+    followed by ``C`` seeded backwards instead of the legacy ``C`` full
+    forward+backward passes.
+
+Cached im2col index sets
+    Convolution (and the strided max-pool path) gather their patch matrices
+    through integer index sets cached per input geometry
+    ``(channels, height, width, kernel, stride)``, so steady-state attack
+    iterations spend their time inside BLAS matmuls, not index arithmetic.
+
+Counters and an autograd fallback
+    ``engine.counters`` (:class:`GradientCounters`) tracks backward batches,
+    examples, wall-clock seconds and fallback passes in the same style as
+    the PR-1 inference counters.  Networks containing unknown layer types
+    transparently fall back to the float64 autograd path (recorded in
+    ``counters.fallbacks``), so the public API never changes behaviour —
+    only speed.
+
+Dtype policy: attacks default to float32 through this engine; training
+(:mod:`repro.nn.train`) stays on the float64 autograd path.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
+from .norm import _BatchNormBase
+from .tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
+    from .network import Network
+
+__all__ = ["GradientEngine", "GradientCounters", "margin_seed"]
+
+DEFAULT_BATCH_SIZE = 256
+
+# Offset excluding the target class from max_{i != t} Z_i (matches attacks.cw).
+_EXCLUDE = 1e6
+
+
+@dataclass
+class GradientCounters:
+    """Cumulative backward-pass work counters of one gradient engine."""
+
+    requests: int = 0  # public gradient calls answered
+    backward_batches: int = 0  # seeded backward executions
+    examples: int = 0  # rows pushed through a backward pass
+    seconds: float = 0.0  # wall clock inside forward/backward kernels
+    fallbacks: int = 0  # backward passes served by float64 autograd
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+    def snapshot(self) -> "GradientCounters":
+        return replace(self)
+
+
+def margin_seed(
+    logits: np.ndarray, target_labels: np.ndarray, confidence: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cotangent of the CW objective ``f = max(max_{i≠t} Z_i − Z_t + κ, 0)``.
+
+    Returns ``(seed, margin)`` where ``seed`` is the float64 ``∂Σf/∂Z``
+    matrix (rows zero once the hinge is inactive) and ``margin`` is the raw
+    per-example margin (without the hinge).  Shared by
+    :meth:`GradientEngine.margin_input_grad` and the detector-aware
+    adaptive attack, which needs the seed alone to compose losses across
+    two networks before a single backward pass.
+    """
+    target_labels = np.asarray(target_labels)
+    z = np.asarray(logits, dtype=np.float64)
+    n = len(z)
+    rows = np.arange(n)
+    z_target = z[rows, target_labels]
+    masked = z.copy()
+    masked[rows, target_labels] -= _EXCLUDE
+    other = masked.argmax(axis=-1)
+    margin = masked[rows, other] - z_target + confidence
+    active = (margin >= 0.0).astype(np.float64)
+    seed = np.zeros_like(z)
+    seed[rows, other] += active
+    seed[rows, target_labels] -= active
+    return seed, margin
+
+
+class _NativeContext:
+    """Per-layer activations stashed by a native forward pass (reusable)."""
+
+    __slots__ = ("layer_ctxs", "batch_len")
+
+    def __init__(self, layer_ctxs: list, batch_len: int):
+        self.layer_ctxs = layer_ctxs
+        self.batch_len = batch_len
+
+
+class _FallbackContext:
+    """Autograd-backed context for networks with unknown layers.
+
+    The first backward consumes the graph recorded during
+    :meth:`GradientEngine.forward`; later backwards (the Jacobian's
+    per-class seeds) re-run the float64 forward, reproducing the legacy
+    cost exactly.
+    """
+
+    __slots__ = ("network", "x", "inp", "logits", "batch_len")
+
+    def __init__(self, network: "Network", x: np.ndarray):
+        self.network = network
+        self.x = np.asarray(x, dtype=np.float64)
+        self.inp = Tensor(self.x, requires_grad=True)
+        self.logits = network.forward(self.inp)
+        self.batch_len = len(self.x)
+
+    def run(self, seed: np.ndarray) -> np.ndarray:
+        if self.inp is None:  # graph already consumed: re-forward
+            inp = Tensor(self.x, requires_grad=True)
+            logits = self.network.forward(inp)
+        else:
+            inp, logits = self.inp, self.logits
+            self.inp = self.logits = None
+        logits.backward(np.asarray(seed, dtype=np.float64))
+        assert inp.grad is not None
+        return inp.grad
+
+
+class GradientEngine:
+    """Batched, instrumented, dtype-configurable input gradients for one network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.nn.network.Network` to differentiate through.
+        Parameters are read live: rebinding them (optimiser step,
+        ``load_state``) invalidates the cast cache automatically.
+    dtype:
+        Compute dtype of the fused kernels.  ``float32`` (default) roughly
+        doubles BLAS throughput; ``float64`` tracks the autograd reference
+        to ~1e-10.
+    batch_size:
+        Default batch plan of the public gradient methods; per-call
+        ``batch_size`` overrides it.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        dtype: np.dtype | type = np.float32,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.network = network
+        self.dtype = np.dtype(dtype)
+        self.batch_size = batch_size
+        self.counters = GradientCounters()
+        # param-id -> (source array ref, cast copy); identity-checked.
+        self._casts: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # (channels, h, w, kernel, stride) -> (gather indices, out_h, out_w)
+        self._im2col_cache: dict[tuple[int, int, int, int, int], tuple[np.ndarray, int, int]] = {}
+        self._kernels = self._compile()
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def supports_native(self) -> bool:
+        """Whether every layer runs on the fused raw-NumPy kernels."""
+        return self._kernels is not None
+
+    def reset_counters(self) -> None:
+        self.counters = GradientCounters()
+
+    def invalidate(self) -> None:
+        """Drop every cached parameter cast (index caches are geometry-keyed)."""
+        self._casts.clear()
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """One unbatched forward pass returning ``(logits, context)``.
+
+        The context stashes every activation the backward needs and — on
+        the native path — may be seeded repeatedly (:meth:`jacobian` runs
+        ``C`` backwards against one context).  This is the advanced API;
+        most callers want the loss-specific helpers below, which batch.
+        """
+        x = np.ascontiguousarray(np.asarray(x), dtype=self.dtype)
+        start = time.perf_counter()
+        if self._kernels is None:
+            ctx: object = _FallbackContext(self.network, x)
+            out = ctx.logits.data.astype(self.dtype)
+        else:
+            layer_ctxs = []
+            out = x
+            for forward_kernel, _ in self._kernels:
+                out, layer_ctx = forward_kernel(out)
+                layer_ctxs.append(layer_ctx)
+            ctx = _NativeContext(layer_ctxs, len(x))
+        self.counters.seconds += time.perf_counter() - start
+        return out, ctx
+
+    def backward(self, ctx: object, seed: np.ndarray) -> np.ndarray:
+        """Input gradient for the cotangent ``seed`` (``∂Σ(seed·Z)/∂x``).
+
+        ``seed`` has the logits' shape; the result is in the engine dtype.
+        """
+        start = time.perf_counter()
+        self.counters.backward_batches += 1
+        if isinstance(ctx, _FallbackContext):
+            self.counters.fallbacks += 1
+            self.counters.examples += ctx.batch_len
+            grad = ctx.run(seed).astype(self.dtype)
+        else:
+            assert isinstance(ctx, _NativeContext)
+            self.counters.examples += ctx.batch_len
+            grad = np.ascontiguousarray(np.asarray(seed), dtype=self.dtype)
+            for (_, backward_kernel), layer_ctx in zip(
+                reversed(self._kernels), reversed(ctx.layer_ctxs)
+            ):
+                grad = backward_kernel(grad, layer_ctx)
+        self.counters.seconds += time.perf_counter() - start
+        return grad
+
+    def cross_entropy_input_grad(
+        self, x: np.ndarray, labels: np.ndarray, batch_size: int | None = None
+    ) -> np.ndarray:
+        """``∂ CE(H(x), labels) / ∂x`` summed over the batch (per-example rows).
+
+        The softmax seed is computed in float64 for stability, the network
+        passes in the engine dtype; the result is in the engine dtype.
+        """
+        self.counters.requests += 1
+        x, labels = np.asarray(x), np.asarray(labels)
+        out = np.empty(x.shape, dtype=self.dtype)
+        for begin, end in self._plan(len(x), batch_size):
+            logits, ctx = self.forward(x[begin:end])
+            z = logits.astype(np.float64)
+            shifted = z - z.max(axis=-1, keepdims=True)
+            exps = np.exp(shifted)
+            seed = exps / exps.sum(axis=-1, keepdims=True)
+            seed[np.arange(end - begin), labels[begin:end]] -= 1.0
+            out[begin:end] = self.backward(ctx, seed)
+        return out
+
+    def logit_input_grad(
+        self, x: np.ndarray, class_index: np.ndarray, batch_size: int | None = None
+    ) -> np.ndarray:
+        """``∂ H(x)_{class_index} / ∂x`` for a per-example class index."""
+        self.counters.requests += 1
+        x, class_index = np.asarray(x), np.asarray(class_index)
+        num_classes = self.network.num_classes
+        out = np.empty(x.shape, dtype=self.dtype)
+        for begin, end in self._plan(len(x), batch_size):
+            logits, ctx = self.forward(x[begin:end])
+            seed = np.zeros((end - begin, num_classes), dtype=self.dtype)
+            seed[np.arange(end - begin), class_index[begin:end]] = 1.0
+            out[begin:end] = self.backward(ctx, seed)
+        return out
+
+    def margin_input_grad(
+        self,
+        x: np.ndarray,
+        target_labels: np.ndarray,
+        confidence: float = 0.0,
+        batch_size: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gradient of the CW objective ``f(x) = max(max_{i≠t} Z_i − Z_t + κ, 0)``.
+
+        Returns ``(grad, logits, margin)``: the per-example ``∂f/∂x`` rows
+        (engine dtype), the logits (engine dtype) and the raw, un-hinged
+        margin (float64) — everything the CW L2/L0/L∞ inner loops need from
+        one fused pass.
+        """
+        self.counters.requests += 1
+        x, target_labels = np.asarray(x), np.asarray(target_labels)
+        num_classes = self.network.num_classes
+        grad = np.empty(x.shape, dtype=self.dtype)
+        logits_out = np.empty((len(x), num_classes), dtype=self.dtype)
+        margin_out = np.empty(len(x), dtype=np.float64)
+        for begin, end in self._plan(len(x), batch_size):
+            logits, ctx = self.forward(x[begin:end])
+            seed, margin = margin_seed(logits, target_labels[begin:end], confidence)
+            grad[begin:end] = self.backward(ctx, seed)
+            logits_out[begin:end] = logits
+            margin_out[begin:end] = margin
+        return grad, logits_out, margin_out
+
+    def jacobian(
+        self, x: np.ndarray, batch_size: int | None = None, with_logits: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Full logits Jacobian ``∂H(x)_c / ∂x``, shape ``(N, C, *input_shape)``.
+
+        On the native path this is one forward followed by ``C`` seeded
+        backwards against the *same* stashed activations — the legacy path
+        re-ran the whole forward once per class.  The result (and, with
+        ``with_logits=True``, the accompanying logits) is in the engine
+        dtype.
+        """
+        self.counters.requests += 1
+        x = np.asarray(x)
+        num_classes = self.network.num_classes
+        rows = np.empty((len(x), num_classes) + x.shape[1:], dtype=self.dtype)
+        logits_out = np.empty((len(x), num_classes), dtype=self.dtype)
+        for begin, end in self._plan(len(x), batch_size):
+            logits, ctx = self.forward(x[begin:end])
+            logits_out[begin:end] = logits
+            seed = np.zeros((end - begin, num_classes), dtype=self.dtype)
+            for c in range(num_classes):
+                seed[:, c] = 1.0
+                rows[begin:end, c] = self.backward(ctx, seed)
+                seed[:, c] = 0.0
+        return (rows, logits_out) if with_logits else rows
+
+    # -- batching -------------------------------------------------------------
+
+    def _plan(self, n: int, batch_size: int | None):
+        step = batch_size or self.batch_size
+        return ((begin, min(begin + step, n)) for begin in range(0, n, step))
+
+    # -- kernel compilation ----------------------------------------------------
+
+    def _compile(self):
+        kernels = []
+        for layer in self.network.layers:
+            pair = self._kernel_for(layer)
+            if pair is None:
+                return None
+            kernels.append(pair)
+        return kernels
+
+    def _kernel_for(self, layer):
+        if isinstance(layer, Dense):
+            return self._dense_kernel(layer)
+        if isinstance(layer, Conv2D):
+            return self._conv_kernel(layer)
+        if isinstance(layer, MaxPool2D):
+            return self._max_pool_kernel(layer)
+        if isinstance(layer, AvgPool2D):
+            return self._avg_pool_kernel(layer)
+        if isinstance(layer, Flatten):
+            return (
+                lambda x: (x.reshape(len(x), -1), x.shape),
+                lambda grad, shape: grad.reshape(shape),
+            )
+        if isinstance(layer, ReLU):
+            return (
+                lambda x: (np.maximum(x, 0.0, dtype=x.dtype), x > 0),
+                lambda grad, mask: grad * mask,
+            )
+        if isinstance(layer, Tanh):
+            return (
+                lambda x: ((out := np.tanh(x)), out),
+                lambda grad, out: grad * (1.0 - out * out),
+            )
+        if isinstance(layer, Sigmoid):
+            return (
+                lambda x: ((out := 1.0 / (1.0 + np.exp(-x))), out),
+                lambda grad, out: grad * out * (1.0 - out),
+            )
+        if isinstance(layer, Dropout):
+            # Inference-time identity (attacks never run the training path).
+            return (lambda x: (x, None), lambda grad, _: grad)
+        if isinstance(layer, _BatchNormBase):
+            return self._batchnorm_kernel(layer)
+        return None
+
+    def _dense_kernel(self, layer: Dense):
+        weight, bias = layer.params["weight"], layer.params["bias"]
+
+        def forward(x):
+            return x @ self._cast(weight) + self._cast(bias), None
+
+        def backward(grad, _):
+            return grad @ self._cast(weight).T
+
+        return forward, backward
+
+    def _conv_kernel(self, layer: Conv2D):
+        weight, bias = layer.params["weight"], layer.params["bias"]
+        stride, padding, kernel = layer.stride, layer.padding, layer.kernel_size
+        c_out = layer.out_channels
+
+        def forward(x):
+            if padding:
+                x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+            n, c, h, w = x.shape
+            idx, out_h, out_w = self._im2col_indices(c, h, w, kernel, stride)
+            # np.take (not fancy indexing) so the patch matrix comes out
+            # C-contiguous and the reshape below stays a view.
+            cols = np.take(x.reshape(n, c * h * w), idx, axis=1).reshape(
+                n * out_h * out_w, c * kernel * kernel
+            )
+            w_mat = self._cast(weight).reshape(c_out, -1)
+            out = cols @ w_mat.T + self._cast(bias)
+            out = np.ascontiguousarray(out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
+            return out, (n, c, h, w)
+
+        def backward(grad, ctx):
+            n, c, h, w = ctx
+            _, out_h, out_w = self._im2col_indices(c, h, w, kernel, stride)
+            grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
+            grad_cols = grad_mat @ self._cast(weight).reshape(c_out, -1)
+            gx = _col2im(grad_cols, (n, c, h, w), kernel, stride, out_h, out_w)
+            if padding:
+                gx = gx[:, :, padding:-padding, padding:-padding]
+            return np.ascontiguousarray(gx)
+
+        return forward, backward
+
+    def _max_pool_kernel(self, layer: MaxPool2D):
+        size, stride = layer.size, layer.stride
+
+        def forward(x):
+            n, c, h, w = x.shape
+            if stride == size and h % size == 0 and w % size == 0:
+                out_h, out_w = h // size, w // size
+                flat = x.reshape(n, c, out_h, size, out_w, size).transpose(0, 1, 2, 4, 3, 5)
+                flat = flat.reshape(n, c, out_h, out_w, size * size)
+                arg = flat.argmax(axis=-1)
+                out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+                return np.ascontiguousarray(out), ("fast", arg, x.shape)
+            # General (overlapping / ragged) path via per-channel im2col.
+            idx, out_h, out_w = self._im2col_indices(1, h, w, size, stride)
+            cols = np.take(x.reshape(n * c, h * w), idx, axis=1).reshape(-1, size * size)
+            arg = cols.argmax(axis=1)
+            out = cols[np.arange(cols.shape[0]), arg].reshape(n, c, out_h, out_w)
+            return out, ("general", arg, x.shape)
+
+        def backward(grad, ctx):
+            kind, arg, x_shape = ctx
+            n, c, h, w = x_shape
+            if kind == "fast":
+                out_h, out_w = h // size, w // size
+                gflat = np.zeros((n, c, out_h, out_w, size * size), dtype=grad.dtype)
+                np.put_along_axis(gflat, arg[..., None], grad[..., None], axis=-1)
+                gx = gflat.reshape(n, c, out_h, out_w, size, size).transpose(0, 1, 2, 4, 3, 5)
+                return np.ascontiguousarray(gx.reshape(x_shape))
+            _, out_h, out_w = self._im2col_indices(1, h, w, size, stride)
+            gcols = np.zeros((n * c * out_h * out_w, size * size), dtype=grad.dtype)
+            gcols[np.arange(gcols.shape[0]), arg] = grad.reshape(-1)
+            gx = _col2im(gcols, (n * c, 1, h, w), size, stride, out_h, out_w)
+            return gx.reshape(x_shape)
+
+        return forward, backward
+
+    def _avg_pool_kernel(self, layer: AvgPool2D):
+        size = layer.size
+
+        def forward(x):
+            n, c, h, w = x.shape
+            blocks = x.reshape(n, c, h // size, size, w // size, size)
+            return blocks.mean(axis=(3, 5), dtype=x.dtype), x.shape
+
+        def backward(grad, x_shape):
+            spread = np.repeat(np.repeat(grad, size, axis=2), size, axis=3)
+            return spread / grad.dtype.type(size * size)
+
+        return forward, backward
+
+    def _batchnorm_kernel(self, layer: _BatchNormBase):
+        # Eval-mode batch norm is affine in x; gradients flow through the
+        # scale only (the running statistics are constants — the same
+        # simplification the autograd layer makes).
+        def forward(x):
+            scale = layer.params["gamma"].data / np.sqrt(layer.running_var + layer.eps)
+            shift = layer.params["beta"].data - layer.running_mean * scale
+            shape = layer._shape
+            scale = scale.reshape(shape).astype(x.dtype)
+            return x * scale + shift.reshape(shape).astype(x.dtype), scale
+
+        def backward(grad, scale):
+            return grad * scale
+
+        return forward, backward
+
+    # -- cached index sets and parameter casts ---------------------------------
+
+    def _im2col_indices(self, c: int, h: int, w: int, kernel: int, stride: int):
+        """Gather indices turning a flat image into im2col patch rows.
+
+        Cached per input geometry; the returned flat index array has
+        ``out_h * out_w * c * kernel²`` entries addressing the flattened
+        ``(c, h, w)`` image in the same ``(row: oh, ow; col: c, kh, kw)``
+        order as :func:`repro.nn.ops.im2col`, ready for ``np.take``.
+        """
+        key = (c, h, w, kernel, stride)
+        cached = self._im2col_cache.get(key)
+        if cached is None:
+            out_h = (h - kernel) // stride + 1
+            out_w = (w - kernel) // stride + 1
+            ks = np.arange(kernel)
+            rows = np.arange(out_h) * stride
+            cols = np.arange(out_w) * stride
+            idx = (
+                np.arange(c)[None, None, :, None, None] * (h * w)
+                + (rows[:, None] + ks[None, :])[:, None, None, :, None] * w
+                + (cols[:, None] + ks[None, :])[None, :, None, None, :]
+            )
+            cached = (np.ascontiguousarray(idx.reshape(-1)), out_h, out_w)
+            self._im2col_cache[key] = cached
+        return cached
+
+    def _cast(self, param: Tensor) -> np.ndarray:
+        """Cached dtype cast of a parameter, identity-checked for staleness."""
+        source = param.data
+        entry = self._casts.get(id(param))
+        if entry is None or entry[0] is not source:
+            entry = (source, np.ascontiguousarray(source, dtype=self.dtype))
+            self._casts[id(param)] = entry
+        return entry[1]
+
+
+def _col2im(
+    cols: np.ndarray, x_shape: tuple[int, ...], kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Scatter-add im2col patch gradients back into an image batch."""
+    n, c, h, w = x_shape
+    cols6 = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            x[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += cols6[
+                :, :, :, :, i, j
+            ]
+    return x

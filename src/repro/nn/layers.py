@@ -24,6 +24,7 @@ __all__ = [
     "Flatten",
     "ReLU",
     "Tanh",
+    "Sigmoid",
     "Dropout",
 ]
 
@@ -172,6 +173,11 @@ class ReLU(Layer):
 class Tanh(Layer):
     def forward(self, x: Tensor, training: bool) -> Tensor:
         return ops.tanh(x)
+
+
+class Sigmoid(Layer):
+    def forward(self, x: Tensor, training: bool) -> Tensor:
+        return ops.sigmoid(x)
 
 
 class Dropout(Layer):

@@ -34,6 +34,7 @@ class Network:
         self.layers = list(layers)
         self.input_shape = tuple(input_shape)
         self._engine = None
+        self._grad_engine = None
 
     # -- inference engine -------------------------------------------------------
 
@@ -54,6 +55,26 @@ class Network:
     def attach_engine(self, engine) -> "Network":
         """Replace the attached inference engine; returns ``self``."""
         self._engine = engine
+        return self
+
+    @property
+    def grad_engine(self):
+        """The attached :class:`~repro.nn.grad_engine.GradientEngine` (lazy).
+
+        Gradient-based attacks delegate their input-gradient computations
+        here; attach a custom engine via :meth:`attach_grad_engine` to
+        change dtype or batch plan (e.g. float64 for bit-level parity with
+        the autograd path).
+        """
+        if self._grad_engine is None:
+            from .grad_engine import GradientEngine  # deferred: engine imports layers
+
+            self._grad_engine = GradientEngine(self)
+        return self._grad_engine
+
+    def attach_grad_engine(self, engine) -> "Network":
+        """Replace the attached gradient engine; returns ``self``."""
+        self._grad_engine = engine
         return self
 
     # -- shape bookkeeping ----------------------------------------------------

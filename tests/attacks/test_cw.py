@@ -43,6 +43,16 @@ class TestAdamState:
         out = adam.update(np.zeros(1), np.array([100.0]))
         assert abs(out[0]) == pytest.approx(0.05, rel=1e-5)
 
+    def test_state_adopts_gradient_dtype(self):
+        adam = AdamState((3,), lr=0.1)
+        assert adam.m is None  # lazy until the first gradient arrives
+        adam.update(np.zeros(3, dtype=np.float32), np.ones(3, dtype=np.float32))
+        assert adam.m.dtype == np.float32
+        assert adam.v.dtype == np.float32
+        adam64 = AdamState((3,), lr=0.1)
+        adam64.update(np.zeros(3), np.ones(3))
+        assert adam64.m.dtype == np.float64
+
 
 class TestCWL2:
     def test_high_success(self, cw_l2_result):

@@ -24,7 +24,9 @@ class TestGradientHelpers:
         network, x, y = tiny_correct
         single = cross_entropy_gradient(network, x[:1], y[:1])
         batched = cross_entropy_gradient(network, x[:4], y[:4])
-        np.testing.assert_allclose(single[0], batched[0], atol=1e-10)
+        # Same example, different batch shapes: the float32 engine's BLAS
+        # calls may sum in a different order, so allow float32-level noise.
+        np.testing.assert_allclose(single[0], batched[0], atol=2e-6)
 
     def test_logit_gradient_matches_jacobian_row(self, tiny_correct):
         network, x, _ = tiny_correct

@@ -74,6 +74,46 @@ class TestTiming:
         assert seconds >= 0.02
         assert labels.shape == (3,)
 
+    def test_profile_defense_reports_backward_counters(self, tiny_model):
+        from repro.eval import profile_defense
+
+        network, x, _ = tiny_model
+
+        class _GradientDefense:
+            name = "grad"
+
+            def classify(self, inputs):
+                # A defense that differentiates through the model (one
+                # backward batch) before predicting.
+                network.grad_engine.logit_input_grad(inputs, np.zeros(len(inputs), dtype=int))
+                return network.predict(inputs)
+
+        profile = profile_defense(
+            _GradientDefense(), x[:4], network.engine, grad_engine=network.grad_engine
+        )
+        assert profile.labels.shape == (4,)
+        assert profile.backward_batches == 1
+        assert profile.backward_examples == 4
+        assert profile.counters["grad_backward_batches"] == 1
+        # Forward counters still come from the inference engine, unprefixed.
+        # (The predict may be a memo hit, so assert on requests, not examples.)
+        assert profile.counters["requests"] >= 1
+
+    def test_profile_defense_without_grad_engine_has_zero_backwards(self, tiny_model):
+        from repro.eval import profile_defense
+
+        network, x, _ = tiny_model
+
+        class _Plain:
+            name = "plain"
+
+            def classify(self, inputs):
+                return network.predict(inputs)
+
+        profile = profile_defense(_Plain(), x[:3], network.engine)
+        assert profile.backward_batches == 0
+        assert "grad_backward_batches" not in profile.counters
+
 
 class TestScaleConfig:
     def test_default_fast(self, monkeypatch):
