@@ -1,0 +1,145 @@
+"""Throughput benchmark for the TrainingEngine (standalone, JSON output).
+
+Measures epochs/second of the training loops that dominate the repo's
+cache-warm cost, each as ``legacy`` (float64 autograd graph) vs ``engine``
+(fused float32 parameter-gradient kernels):
+
+* ``cnn-fast``     — the -fast preset CNN on mnist-fast (the workhorse of
+                     every test-suite model build)
+* ``cnn-paper``    — the full-size Carlini-style CNN on the 28x28
+                     mnist-like dataset (paper-scale runs)
+* ``detector-mlp`` — the DCN detector's 2-layer logit MLP (many epochs on
+                     tiny batches; per-batch overhead dominates)
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_train_throughput.py
+    PYTHONPATH=src python benchmarks/bench_train_throughput.py --out bench.json
+    PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
+
+The acceptance bar from the training-engine refactor: the engine must beat
+legacy by >= 2x epochs/sec on ``cnn-fast``.  ``--smoke`` runs a tiny
+configuration for CI wiring (skipping the paper-scale CNN) and does not
+enforce the bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.core.detector import build_detector_network
+from repro.datasets import load_dataset
+from repro.nn import Adam, TrainConfig, fit
+from repro.zoo import MODEL_CONFIGS, build_network
+
+
+def _cnn_workload(dataset_name: str, model_name: str, examples: int, epochs: int):
+    dataset = load_dataset(dataset_name)
+    config = MODEL_CONFIGS[model_name]
+    x = dataset.x_train[:examples]
+    y = dataset.y_train[:examples]
+
+    def run_once(engine: bool) -> tuple[float, float]:
+        network = build_network(config, dataset.input_shape, 10)
+        optimizer = Adam(network.parameters(), lr=config.learning_rate)
+        history = fit(
+            network, optimizer, x, y,
+            TrainConfig(epochs=epochs, batch_size=config.batch_size, engine=engine),
+            np.random.default_rng(1),
+        )
+        return history.seconds, history.loss[-1]
+
+    return run_once, len(x), epochs
+
+
+def _detector_workload(examples: int, epochs: int):
+    rng = np.random.default_rng(0)
+    half = examples // 2
+    benign = rng.normal(size=(half, 10))
+    benign[np.arange(half), rng.integers(0, 10, half)] += 10.0
+    features = np.sort(np.concatenate([benign, rng.normal(size=(half, 10))]), axis=-1)
+    labels = np.concatenate([np.zeros(half, dtype=int), np.ones(half, dtype=int)])
+
+    def run_once(engine: bool) -> tuple[float, float]:
+        network = build_detector_network()
+        optimizer = Adam(network.parameters(), lr=1e-2)
+        history = fit(
+            network, optimizer, features, labels,
+            TrainConfig(epochs=epochs, batch_size=64, engine=engine),
+            np.random.default_rng(1),
+        )
+        return history.seconds, history.loss[-1]
+
+    return run_once, len(features), epochs
+
+
+def run(examples: int, epochs: int, detector_epochs: int, repeats: int, smoke: bool) -> dict:
+    workloads = {
+        "cnn-fast": _cnn_workload("mnist-fast", "cnn-fast", examples, epochs),
+        "detector-mlp": _detector_workload(600, detector_epochs),
+    }
+    if not smoke:
+        workloads["cnn-paper"] = _cnn_workload("mnist-like", "cnn-paper", examples // 2, max(1, epochs // 2))
+
+    results = {}
+    for name, (run_once, amount, n_epochs) in workloads.items():
+        entry = {"examples": amount, "epochs": n_epochs}
+        losses = {}
+        for variant, engine in (("legacy", False), ("engine", True)):
+            best = float("inf")
+            for _ in range(repeats):
+                seconds, final_loss = run_once(engine)
+                best = min(best, seconds)
+                losses[variant] = final_loss
+            entry[variant] = {"seconds": best, "epochs_per_sec": n_epochs / best}
+        entry["speedup"] = entry["legacy"]["seconds"] / entry["engine"]["seconds"]
+        # The two paths optimise the same objective from the same seeds;
+        # their final losses must agree to float32 training noise.
+        entry["final_loss_delta"] = abs(losses["engine"] - losses["legacy"])
+        results[name] = entry
+
+    return {
+        "examples": examples,
+        "repeats": repeats,
+        "results": results,
+        "meets_2x_bar": bool(results["cnn-fast"]["speedup"] >= 2.0),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--examples", type=int, default=512)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--detector-epochs", type=int, default=60)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--out", type=Path, default=None, help="also write JSON here")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, single repeat, never fails the speedup bar (CI wiring)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.examples, args.epochs, args.detector_epochs, args.repeats = 64, 1, 5, 1
+    if min(args.examples, args.epochs, args.detector_epochs, args.repeats) < 1:
+        parser.error("--examples/--epochs/--detector-epochs/--repeats must be >= 1")
+
+    payload = run(args.examples, args.epochs, args.detector_epochs, args.repeats, args.smoke)
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.out:
+        args.out.write_text(text + "\n")
+    if args.smoke:
+        return 0
+    return 0 if payload["meets_2x_bar"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,3 +18,7 @@ python -m pytest -x -q "$@"
 echo "== gradient-engine benchmark (smoke) =="
 python benchmarks/bench_grad_throughput.py --smoke > /dev/null
 echo "ok"
+
+echo "== training-engine benchmark (smoke) =="
+python benchmarks/bench_train_throughput.py --smoke > /dev/null
+echo "ok"

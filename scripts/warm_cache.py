@@ -10,6 +10,11 @@ training pool), the Table 2 held-out pool, and the Table 4/5 robustness
 pools for every CW attack against both the standard and distilled models.
 Everything lands in ``.artifacts`` keyed by configuration, so benchmarks
 and tests afterwards run from cache.
+
+Training runs on the fused float32
+:class:`~repro.nn.train_engine.TrainingEngine` path (the library default
+since PR 3); per-model engine counters are logged so cold warms show how
+much work the fused kernels absorbed.
 """
 
 from __future__ import annotations
@@ -25,6 +30,17 @@ def log(message: str, start: float) -> None:
     print(f"[{time.perf_counter() - start:7.1f}s] {message}", flush=True)
 
 
+def _train_counters(network) -> str:
+    """Render a network's training-engine counters (all zero on cache hits)."""
+    counters = network.train_engine.counters
+    if not counters.batches:
+        return "cached (no training this run)"
+    return (
+        f"{counters.batches} fused batches / {counters.examples} examples "
+        f"in {counters.seconds:.1f}s kernel time ({counters.fallbacks} fallbacks)"
+    )
+
+
 def warm(scale_name: str | None = None) -> None:
     start = time.perf_counter()
     scale = scale_config(scale_name)
@@ -32,10 +48,11 @@ def warm(scale_name: str | None = None) -> None:
     for dataset_name in (scale.mnist, scale.cifar):
         ctx = build_context(dataset_name, scale)
         log(f"{dataset_name}: model ready (acc={ctx.model.accuracy(ctx.dataset.x_test, ctx.dataset.y_test):.4f})", start)
+        log(f"{dataset_name}: model training {_train_counters(ctx.model)}", start)
         ctx.distilled
-        log(f"{dataset_name}: distilled model ready", start)
+        log(f"{dataset_name}: distilled model ready; student {_train_counters(ctx.distilled.network)}", start)
         ctx.dcn  # trains detector (builds its CW-L2 pool)
-        log(f"{dataset_name}: detector ready", start)
+        log(f"{dataset_name}: detector ready; {_train_counters(ctx.dcn.detector.network)}", start)
         log(f"{dataset_name}: corrector radius calibrated to r={ctx.radius}", start)
         rates = table2_detector_rates(ctx)
         log(f"{dataset_name}: table2 pool ready {rates}", start)

@@ -53,6 +53,7 @@ class SubstituteBlackBox:
         epochs: int = 25,
         inner_attack=None,
         seed: int = 0,
+        train_dtype: str = "float32",
     ):
         if augmentation_rounds < 0:
             raise ValueError("augmentation_rounds must be >= 0")
@@ -60,6 +61,7 @@ class SubstituteBlackBox:
         self.augmentation_rounds = augmentation_rounds
         self.lambda_step = lambda_step
         self.epochs = epochs
+        self.train_dtype = train_dtype
         self.inner_attack = inner_attack or FGSM(epsilon=0.25)
         self.seed = seed
         self.queries_used = 0
@@ -81,7 +83,7 @@ class SubstituteBlackBox:
             optimizer = Adam(substitute.parameters(), lr=2e-3)
             fit(
                 substitute, optimizer, data, labels,
-                TrainConfig(epochs=self.epochs, batch_size=64), rng,
+                TrainConfig(epochs=self.epochs, batch_size=64, dtype=self.train_dtype), rng,
             )
             if round_index == self.augmentation_rounds:
                 break

@@ -24,7 +24,7 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["cache_dir", "cache_key", "memoize_arrays"]
+__all__ = ["cache_dir", "cache_key", "memoize_arrays", "weights_fingerprint"]
 
 
 def cache_dir() -> Path:
@@ -42,6 +42,20 @@ def cache_key(spec: dict) -> str:
     """Stable hash of a JSON-serialisable parameter dict."""
     canonical = json.dumps(spec, sort_keys=True, default=str)
     return hashlib.sha256(canonical.encode()).hexdigest()[:20]
+
+
+def weights_fingerprint(network) -> str:
+    """Short content hash of a network's parameters (float64 canonical form).
+
+    Artifacts *derived from* a trained model — adversarial-example pools,
+    calibrated radii, detectors — embed this in their cache keys so a
+    retrained or differently-trained model can never be silently paired
+    with stale derived artifacts.
+    """
+    digest = hashlib.sha256()
+    for p in network.parameters():
+        digest.update(np.ascontiguousarray(p.data, dtype=np.float64).tobytes())
+    return digest.hexdigest()[:16]
 
 
 def _load_arrays(path: Path) -> dict[str, np.ndarray] | None:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cache import memoize_arrays
+from ..cache import memoize_arrays, weights_fingerprint
 from ..datasets import Dataset
 from ..nn import Adam, Dense, Network, ReLU, TrainConfig, fit
 
@@ -158,6 +158,7 @@ def train_detector(
     extra_benign: int = 400,
     sort_features: bool = True,
     cache: bool = True,
+    train_dtype: str = "float32",
 ) -> LogitDetector:
     """Train the DCN detector for ``model`` on ``dataset``.
 
@@ -175,7 +176,14 @@ def train_detector(
             features = np.sort(features, axis=-1)
         rng = np.random.default_rng(seed + 1)
         optimizer = Adam(network.parameters(), lr=learning_rate)
-        fit(network, optimizer, features, labels, TrainConfig(epochs=epochs, batch_size=64), rng)
+        fit(
+            network,
+            optimizer,
+            features,
+            labels,
+            TrainConfig(epochs=epochs, batch_size=64, dtype=train_dtype),
+            rng,
+        )
         state = network.state()
         state["train_seed_indices"] = indices
         return state
@@ -192,7 +200,11 @@ def train_detector(
             "lr": learning_rate,
             "extra_benign": extra_benign,
             "sorted": sort_features,
+            # Detectors are trained against one specific protected model.
+            "weights": weights_fingerprint(model),
         }
+        if train_dtype != "float64":
+            key["train_dtype"] = train_dtype
         state = memoize_arrays(key, build)
     else:
         state = build()

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cache import memoize_arrays
+from ..cache import memoize_arrays, weights_fingerprint
 from ..datasets import Dataset
 from ..defenses.region import region_vote
 from ..nn.network import Network
@@ -60,6 +60,7 @@ def select_radius(
         key = {
             "kind": "radius",
             "dataset": dataset.name,
+            "weights": weights_fingerprint(model),
             "num_seeds": num_seeds,
             "seed": seed,
             "samples": samples,

@@ -16,9 +16,10 @@ import numpy as np
 from ..cache import memoize_arrays
 from ..datasets import Dataset
 from ..nn import Adam, TrainConfig, fit
-from ..nn.losses import one_hot, soft_cross_entropy
+from ..nn.losses import one_hot
 from ..nn.network import Network
-from ..zoo import MODEL_CONFIGS, ModelConfig, build_network
+from ..nn.train_engine import soft_cross_entropy_loss
+from ..zoo import MODEL_CONFIGS, ModelConfig, _dtype_key, build_network
 
 __all__ = ["DistilledClassifier", "train_distilled"]
 
@@ -43,10 +44,13 @@ def _train_at_temperature(
     config: ModelConfig,
     temperature: float,
     seed_offset: int,
+    train_dtype: str = "float32",
 ) -> None:
     rng = np.random.default_rng(config.seed + seed_offset)
     optimizer = Adam(network.parameters(), lr=config.learning_rate)
-    train_config = TrainConfig(epochs=config.epochs, batch_size=config.batch_size, lr_decay=0.92)
+    train_config = TrainConfig(
+        epochs=config.epochs, batch_size=config.batch_size, lr_decay=0.92, dtype=train_dtype
+    )
     fit(
         network,
         optimizer,
@@ -54,7 +58,7 @@ def _train_at_temperature(
         targets,
         train_config,
         rng,
-        loss_fn=lambda logits, y: soft_cross_entropy(logits, y, temperature=temperature),
+        loss=soft_cross_entropy_loss(temperature),
     )
 
 
@@ -63,6 +67,7 @@ def train_distilled(
     model: str | ModelConfig,
     temperature: float = 100.0,
     cache: bool = True,
+    train_dtype: str = "float32",
 ) -> DistilledClassifier:
     """Run the full distillation pipeline and return the student classifier.
 
@@ -80,18 +85,25 @@ def train_distilled(
     def build() -> dict[str, np.ndarray]:
         teacher = build_network(config, dataset.input_shape, 10, seed=config.seed + 50)
         hard = one_hot(dataset.y_train, 10)
-        _train_at_temperature(teacher, dataset.x_train, hard, config, temperature, seed_offset=3)
+        _train_at_temperature(
+            teacher, dataset.x_train, hard, config, temperature, seed_offset=3, train_dtype=train_dtype
+        )
         soft = teacher.engine.softmax(dataset.x_train, temperature=temperature, memo=False)
-        _train_at_temperature(student, dataset.x_train, soft, config, temperature, seed_offset=4)
+        _train_at_temperature(
+            student, dataset.x_train, soft, config, temperature, seed_offset=4, train_dtype=train_dtype
+        )
         return student.state()
 
     if cache:
-        key = {
-            "kind": "distilled",
-            "dataset": dataset.name,
-            "temperature": temperature,
-            **config.__dict__,
-        }
+        key = _dtype_key(
+            {
+                "kind": "distilled",
+                "dataset": dataset.name,
+                "temperature": temperature,
+                **config.__dict__,
+            },
+            train_dtype,
+        )
         student.load_state(memoize_arrays(key, build))
     else:
         build()

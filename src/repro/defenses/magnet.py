@@ -19,8 +19,9 @@ import numpy as np
 from ..cache import memoize_arrays
 from ..datasets import Dataset
 from ..nn import Adam, Dense, Flatten, Network, ReLU, Tanh, TrainConfig, fit
-from ..nn.losses import mse
 from ..nn.network import Network as _Net
+from ..nn.train_engine import MSE
+from ..zoo import _dtype_key
 
 __all__ = ["build_autoencoder", "train_autoencoder", "MagNet"]
 
@@ -55,6 +56,7 @@ def train_autoencoder(
     epochs: int = 30,
     learning_rate: float = 2e-3,
     cache: bool = True,
+    train_dtype: str = "float32",
 ) -> Network:
     """Train the MagNet autoencoder on the benign training split."""
     autoencoder = build_autoencoder(dataset.input_shape, bottleneck=bottleneck)
@@ -71,20 +73,23 @@ def train_autoencoder(
             optimizer,
             dataset.x_train,
             scaled_targets,
-            TrainConfig(epochs=epochs, batch_size=64),
+            TrainConfig(epochs=epochs, batch_size=64, dtype=train_dtype),
             rng,
-            loss_fn=lambda out, targets: mse(out, targets),
+            loss=MSE,
         )
         return autoencoder.state()
 
     if cache:
-        key = {
-            "kind": "magnet-ae",
-            "dataset": dataset.name,
-            "bottleneck": bottleneck,
-            "epochs": epochs,
-            "lr": learning_rate,
-        }
+        key = _dtype_key(
+            {
+                "kind": "magnet-ae",
+                "dataset": dataset.name,
+                "bottleneck": bottleneck,
+                "epochs": epochs,
+                "lr": learning_rate,
+            },
+            train_dtype,
+        )
         autoencoder.load_state(memoize_arrays(key, build))
     else:
         build()

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..attacks.base import AttackResult, distortion
 from ..attacks.factory import make_attack
-from ..cache import memoize_arrays
+from ..cache import memoize_arrays, weights_fingerprint
 from ..datasets import Dataset
 from ..nn.network import Network
 
@@ -121,6 +121,9 @@ def build_targeted_pool(
             "kind": f"pool-{attack_name}",
             "dataset": dataset.name,
             "model": model_tag,
+            # Adversarial examples are crafted against specific weights; a
+            # retrained model must never be paired with a stale pool.
+            "weights": weights_fingerprint(network),
             "num_seeds": num_seeds,
             "seed": seed,
             "exclude": None if exclude is None else int(np.asarray(exclude).sum()),

@@ -13,6 +13,14 @@ from .network import Network
 from .optim import SGD, Adam
 from .tensor import Tensor, as_tensor, no_grad
 from .train import History, TrainConfig, fit
+from .train_engine import (
+    CROSS_ENTROPY,
+    MSE,
+    TrainingCounters,
+    TrainingEngine,
+    TrainLoss,
+    soft_cross_entropy_loss,
+)
 
 __all__ = [
     "Tensor",
@@ -24,6 +32,12 @@ __all__ = [
     "counter_delta",
     "GradientEngine",
     "GradientCounters",
+    "TrainingEngine",
+    "TrainingCounters",
+    "TrainLoss",
+    "CROSS_ENTROPY",
+    "MSE",
+    "soft_cross_entropy_loss",
     "Dense",
     "Conv2D",
     "MaxPool2D",

@@ -115,12 +115,14 @@ class InferenceEngine:
         self.memo_entries = memo_entries
         self.counters = EngineCounters()
         self._memo: OrderedDict[bytes, np.ndarray] = OrderedDict()
-        # param-id -> (source array ref, cast copy); identity-checked so a
-        # rebound parameter (optimiser step, load_state) recasts lazily.
-        self._casts: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        # Strong refs backing the memo's validity: if any parameter array
-        # identity changes, every memoised result is stale.
-        self._memo_param_refs: list[np.ndarray] = []
+        # param-id -> (source array ref, version, cast copy); checked by
+        # identity (rebinding via load_state) AND version (in-place
+        # optimiser updates call Tensor.bump_version) so a stale cast is
+        # never served mid-training.
+        self._casts: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
+        # (array ref, version) pairs backing the memo's validity: if any
+        # parameter changes either way, every memoised result is stale.
+        self._memo_param_refs: list[tuple[np.ndarray, int]] = []
         self._kernels = self._compile()
 
     # -- public API -----------------------------------------------------------
@@ -203,7 +205,7 @@ class InferenceEngine:
     def _memo_lookup(self, key: bytes) -> np.ndarray | None:
         if not self._params_unchanged():
             self._memo.clear()
-            self._memo_param_refs = [p.data for p in self.network.parameters()]
+            self._memo_param_refs = [(p.data, p.version) for p in self.network.parameters()]
             return None
         hit = self._memo.get(key)
         if hit is not None:
@@ -220,7 +222,9 @@ class InferenceEngine:
     def _params_unchanged(self) -> bool:
         refs = self._memo_param_refs
         params = list(self.network.parameters())
-        return len(refs) == len(params) and all(p.data is ref for p, ref in zip(params, refs))
+        return len(refs) == len(params) and all(
+            p.data is ref and p.version == version for p, (ref, version) in zip(params, refs)
+        )
 
     # -- execution ------------------------------------------------------------
 
@@ -312,13 +316,13 @@ class InferenceEngine:
         return run
 
     def _cast(self, param: Tensor) -> np.ndarray:
-        """Cached dtype cast of a parameter, identity-checked for staleness."""
+        """Cached dtype cast of a parameter, identity+version-checked for staleness."""
         source = param.data
         entry = self._casts.get(id(param))
-        if entry is None or entry[0] is not source:
-            entry = (source, np.ascontiguousarray(source, dtype=self.dtype))
+        if entry is None or entry[0] is not source or entry[1] != param.version:
+            entry = (source, param.version, np.ascontiguousarray(source, dtype=self.dtype))
             self._casts[id(param)] = entry
-        return entry[1]
+        return entry[2]
 
 
 def _max_pool(x: np.ndarray, size: int, stride: int) -> np.ndarray:

@@ -52,12 +52,43 @@ from .tensor import Tensor
 if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
     from .network import Network
 
-__all__ = ["GradientEngine", "GradientCounters", "margin_seed"]
+__all__ = ["GradientEngine", "GradientCounters", "margin_seed", "im2col_indices"]
 
 DEFAULT_BATCH_SIZE = 256
 
 # Offset excluding the target class from max_{i != t} Z_i (matches attacks.cw).
 _EXCLUDE = 1e6
+
+# (channels, h, w, kernel, stride) -> (gather indices, out_h, out_w).
+# Module-level so the gradient and training engines (and several engines per
+# network) share one set of integer index arrays per geometry.
+_IM2COL_CACHE: dict[tuple[int, int, int, int, int], tuple[np.ndarray, int, int]] = {}
+
+
+def im2col_indices(c: int, h: int, w: int, kernel: int, stride: int):
+    """Gather indices turning a flat image into im2col patch rows.
+
+    Cached per input geometry; the returned flat index array has
+    ``out_h * out_w * c * kernel²`` entries addressing the flattened
+    ``(c, h, w)`` image in the same ``(row: oh, ow; col: c, kh, kw)``
+    order as :func:`repro.nn.ops.im2col`, ready for ``np.take``.
+    """
+    key = (c, h, w, kernel, stride)
+    cached = _IM2COL_CACHE.get(key)
+    if cached is None:
+        out_h = (h - kernel) // stride + 1
+        out_w = (w - kernel) // stride + 1
+        ks = np.arange(kernel)
+        rows = np.arange(out_h) * stride
+        cols = np.arange(out_w) * stride
+        idx = (
+            np.arange(c)[None, None, :, None, None] * (h * w)
+            + (rows[:, None] + ks[None, :])[:, None, None, :, None] * w
+            + (cols[:, None] + ks[None, :])[None, :, None, None, :]
+        )
+        cached = (np.ascontiguousarray(idx.reshape(-1)), out_h, out_w)
+        _IM2COL_CACHE[key] = cached
+    return cached
 
 
 @dataclass
@@ -175,10 +206,9 @@ class GradientEngine:
         self.dtype = np.dtype(dtype)
         self.batch_size = batch_size
         self.counters = GradientCounters()
-        # param-id -> (source array ref, cast copy); identity-checked.
-        self._casts: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        # (channels, h, w, kernel, stride) -> (gather indices, out_h, out_w)
-        self._im2col_cache: dict[tuple[int, int, int, int, int], tuple[np.ndarray, int, int]] = {}
+        # param-id -> (source array ref, version, cast copy); checked by
+        # identity (rebinding) and version (in-place optimiser updates).
+        self._casts: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
         self._kernels = self._compile()
 
     # -- public API -----------------------------------------------------------
@@ -494,39 +524,16 @@ class GradientEngine:
 
     # -- cached index sets and parameter casts ---------------------------------
 
-    def _im2col_indices(self, c: int, h: int, w: int, kernel: int, stride: int):
-        """Gather indices turning a flat image into im2col patch rows.
-
-        Cached per input geometry; the returned flat index array has
-        ``out_h * out_w * c * kernel²`` entries addressing the flattened
-        ``(c, h, w)`` image in the same ``(row: oh, ow; col: c, kh, kw)``
-        order as :func:`repro.nn.ops.im2col`, ready for ``np.take``.
-        """
-        key = (c, h, w, kernel, stride)
-        cached = self._im2col_cache.get(key)
-        if cached is None:
-            out_h = (h - kernel) // stride + 1
-            out_w = (w - kernel) // stride + 1
-            ks = np.arange(kernel)
-            rows = np.arange(out_h) * stride
-            cols = np.arange(out_w) * stride
-            idx = (
-                np.arange(c)[None, None, :, None, None] * (h * w)
-                + (rows[:, None] + ks[None, :])[:, None, None, :, None] * w
-                + (cols[:, None] + ks[None, :])[None, :, None, None, :]
-            )
-            cached = (np.ascontiguousarray(idx.reshape(-1)), out_h, out_w)
-            self._im2col_cache[key] = cached
-        return cached
+    _im2col_indices = staticmethod(im2col_indices)
 
     def _cast(self, param: Tensor) -> np.ndarray:
-        """Cached dtype cast of a parameter, identity-checked for staleness."""
+        """Cached dtype cast of a parameter, identity+version-checked for staleness."""
         source = param.data
         entry = self._casts.get(id(param))
-        if entry is None or entry[0] is not source:
-            entry = (source, np.ascontiguousarray(source, dtype=self.dtype))
+        if entry is None or entry[0] is not source or entry[1] != param.version:
+            entry = (source, param.version, np.ascontiguousarray(source, dtype=self.dtype))
             self._casts[id(param)] = entry
-        return entry[1]
+        return entry[2]
 
 
 def _col2im(

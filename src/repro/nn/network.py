@@ -35,6 +35,7 @@ class Network:
         self.input_shape = tuple(input_shape)
         self._engine = None
         self._grad_engine = None
+        self._train_engine = None
 
     # -- inference engine -------------------------------------------------------
 
@@ -75,6 +76,26 @@ class Network:
     def attach_grad_engine(self, engine) -> "Network":
         """Replace the attached gradient engine; returns ``self``."""
         self._grad_engine = engine
+        return self
+
+    @property
+    def train_engine(self):
+        """The attached :class:`~repro.nn.train_engine.TrainingEngine` (lazy).
+
+        :func:`repro.nn.train.fit` routes mini-batches here whenever the
+        loss is engine-seedable; attach a custom engine via
+        :meth:`attach_train_engine` to change dtype (e.g. float64 for
+        bit-level parity with the autograd path).
+        """
+        if self._train_engine is None:
+            from .train_engine import TrainingEngine  # deferred: engine imports layers
+
+            self._train_engine = TrainingEngine(self)
+        return self._train_engine
+
+    def attach_train_engine(self, engine) -> "Network":
+        """Replace the attached training engine; returns ``self``."""
+        self._train_engine = engine
         return self
 
     # -- shape bookkeeping ----------------------------------------------------

@@ -5,6 +5,17 @@ These operate on the list of parameter tensors returned by
 standalone Adam implementation over raw arrays (see
 :class:`repro.attacks.cw.AdamState`) because they optimise attack variables,
 not network parameters.
+
+Updates are fully in place: ``p.data`` keeps its identity across steps (so
+the training engine's bound float32 arrays are updated directly, with zero
+reallocation per step) and every temporary lives in a preallocated scratch
+buffer.  Optimiser state (momentum/moment buffers, scratch) is allocated
+lazily in the dtype of the first gradient seen — float32 under the fused
+:class:`~repro.nn.train_engine.TrainingEngine`, float64 under autograd —
+and reallocated transparently if the gradient dtype changes.  After every
+update the parameter's version is bumped
+(:meth:`repro.nn.tensor.Tensor.bump_version`) so the identity+version
+checked engine caches recast instead of serving stale values.
 """
 
 from __future__ import annotations
@@ -25,6 +36,17 @@ class Optimizer:
         self.parameters: list[Tensor] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
+        # Per-parameter lazily-allocated buffers, keyed by buffer name.
+        self._state: list[dict[str, np.ndarray]] = [{} for _ in self.parameters]
+
+    def _buffer(self, index: int, name: str, grad: np.ndarray, zero: bool) -> np.ndarray:
+        """Lazy per-parameter buffer matching the gradient's shape/dtype."""
+        state = self._state[index]
+        buf = state.get(name)
+        if buf is None or buf.dtype != grad.dtype or buf.shape != grad.shape:
+            buf = np.zeros_like(grad) if zero else np.empty_like(grad)
+            state[name] = buf
+        return buf
 
     def step(self) -> None:
         raise NotImplementedError
@@ -48,25 +70,42 @@ class SGD(Optimizer):
         self.lr = lr
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for p, velocity in zip(self.parameters, self._velocity):
+        for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
             grad = p.grad
+            scratch = self._buffer(i, "scratch", grad, zero=False)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=scratch, casting="unsafe")
+                scratch += grad
+                grad = scratch
             if self.momentum:
+                velocity = self._buffer(i, "velocity", grad, zero=True)
                 velocity *= self.momentum
-                velocity -= self.lr * grad
-                p.data = p.data + velocity
+                if grad is scratch:
+                    scratch *= self.lr
+                else:
+                    np.multiply(grad, self.lr, out=scratch)
+                velocity -= scratch
+                np.add(p.data, velocity, out=p.data, casting="unsafe")
             else:
-                p.data = p.data - self.lr * grad
+                if grad is scratch:
+                    scratch *= self.lr
+                else:
+                    np.multiply(grad, self.lr, out=scratch)
+                np.subtract(p.data, scratch, out=p.data, casting="unsafe")
+            p.bump_version()
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) with bias correction."""
+    """Adam (Kingma & Ba) with bias correction.
+
+    The bias-corrected update ``lr · m̂ / (√v̂ + ε)`` is computed without
+    the ``m̂``/``v̂`` temporaries via the algebraically identical
+    ``(lr / bias1) · m / (√v / √bias2 + ε)``.
+    """
 
     def __init__(
         self,
@@ -81,24 +120,35 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
-        bias1 = 1.0 - self.beta1**self._t
-        bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        step_size = self.lr / (1.0 - self.beta1**self._t)
+        denom_scale = 1.0 / np.sqrt(1.0 - self.beta2**self._t)
+        for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                decayed = self._buffer(i, "decayed", grad, zero=False)
+                np.multiply(p.data, self.weight_decay, out=decayed, casting="unsafe")
+                decayed += grad
+                grad = decayed
+            m = self._buffer(i, "m", grad, zero=True)
+            v = self._buffer(i, "v", grad, zero=True)
+            scratch = self._buffer(i, "scratch", grad, zero=False)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            m += scratch
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            np.sqrt(v, out=scratch)
+            scratch *= denom_scale
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= step_size
+            np.subtract(p.data, scratch, out=p.data, casting="unsafe")
+            p.bump_version()

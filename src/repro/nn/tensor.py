@@ -80,7 +80,7 @@ class Tensor:
         :meth:`backward` is called on a downstream tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+    __slots__ = ("data", "grad", "requires_grad", "version", "_parents", "_backward_fn")
 
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -88,6 +88,7 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
+        self.version = 0
         self._parents: tuple[Tensor, ...] = ()
         self._backward_fn: Callable[[np.ndarray], None] | None = None
 
@@ -111,6 +112,7 @@ class Tensor:
         out.data = data
         out.requires_grad = requires
         out.grad = None
+        out.version = 0
         if requires:
             out._parents = tuple(parents)
             out._backward_fn = backward_fn
@@ -153,6 +155,16 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+
+    def bump_version(self) -> None:
+        """Record an in-place mutation of :attr:`data`.
+
+        The engine cast caches and the inference memo validate parameters by
+        ``(array identity, version)``: rebinding ``data`` (``load_state``)
+        changes the identity, while in-place optimiser updates must call
+        this so the engines recast instead of serving stale parameters.
+        """
+        self.version += 1
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:

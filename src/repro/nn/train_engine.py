@@ -1,0 +1,522 @@
+"""The training engine: fused parameter-gradient kernels for every training loop.
+
+This module completes the repo's engine trilogy.  PR 1's
+:class:`~repro.nn.engine.InferenceEngine` fused *prediction*, PR 2's
+:class:`~repro.nn.grad_engine.GradientEngine` fused the attacks' *input*
+gradients, and this engine fuses the last float64-autograd hot path:
+the **parameter** gradients behind :func:`repro.nn.train.fit` — the zoo
+models, defensive distillation, adversarial training, the MagNet
+autoencoder, the detector MLP and the black-box substitute fits.
+
+The legacy path rebuilds a full autograd :class:`~repro.nn.tensor.Tensor`
+graph per mini-batch (one Python closure per op, one float64 temporary per
+edge).  The engine instead runs hand-written, dtype-configurable (float32
+by default) forward and backward kernel pairs that accumulate ``∂loss/∂θ``
+straight into each parameter's ``.grad`` buffer:
+
+Training-mode kernels
+    Unlike the sibling engines, forward kernels here run the *training*
+    semantics: dropout draws its inverted mask from the layer's own
+    generator (so the engine is seed-for-seed comparable with the autograd
+    path), and batch norm computes batch statistics and updates the
+    float64 running estimates in place.
+
+Shared im2col machinery, extended with the weight contraction
+    Convolutions gather patch matrices through the same module-level
+    geometry-keyed integer index cache as the gradient engine
+    (:func:`repro.nn.grad_engine.im2col_indices`); the backward kernel
+    additionally stashes the patch matrix so the weight gradient is the
+    single BLAS contraction ``grad_matᵀ @ cols``.
+
+Native losses
+    A :class:`TrainLoss` bundles the float64 ``(value, ∂loss/∂logits)``
+    seed computation with its autograd twin for the fallback path.
+    :data:`CROSS_ENTROPY`, :func:`soft_cross_entropy_loss` (defensive
+    distillation's temperature-scaled soft targets) and :data:`MSE`
+    (the MagNet autoencoder) cover every loss the repo trains with.
+
+Counters and an autograd fallback
+    ``engine.counters`` (:class:`TrainingCounters`) tracks trained
+    batches, examples, wall-clock seconds and fallback passes.  Networks
+    containing unknown layer types transparently fall back to a float64
+    ``training=True`` autograd graph, so behaviour never changes — only
+    speed.
+
+Parameter binding
+    :meth:`parameters_bound` rebinds every parameter array to the engine
+    dtype for the duration of a fit, so optimiser updates, parameter
+    reads, and gradient math all stay in float32 with zero cast copies,
+    then restores float64 on exit (serialisation stays float64 — see
+    ``zoo``'s cache-key policy).  In-place optimiser updates are made
+    visible to the identity-checked engine caches via
+    :meth:`repro.nn.tensor.Tensor.bump_version`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .grad_engine import _col2im, im2col_indices
+from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
+from .losses import cross_entropy, mse, one_hot, soft_cross_entropy
+from .norm import _BatchNormBase
+from .tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
+    from .network import Network
+
+__all__ = [
+    "TrainingEngine",
+    "TrainingCounters",
+    "TrainLoss",
+    "CROSS_ENTROPY",
+    "MSE",
+    "soft_cross_entropy_loss",
+]
+
+
+@dataclass
+class TrainingCounters:
+    """Cumulative work counters of one training engine."""
+
+    batches: int = 0  # train_batch calls answered
+    examples: int = 0  # rows pushed through a fused train step
+    seconds: float = 0.0  # wall clock inside forward/backward kernels
+    fallbacks: int = 0  # batches served by the float64 autograd path
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+    def snapshot(self) -> "TrainingCounters":
+        return replace(self)
+
+
+@dataclass(frozen=True)
+class TrainLoss:
+    """A loss the engine can seed natively.
+
+    ``value_and_seed`` maps float64 ``(logits, targets)`` to the scalar
+    loss value and the float64 cotangent ``∂loss/∂logits``; ``tensor_fn``
+    is the equivalent autograd loss used by the fallback path (and by the
+    legacy loop when the engine is disabled).
+    """
+
+    name: str
+    value_and_seed: Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+    tensor_fn: Callable[[Tensor, np.ndarray], Tensor]
+
+
+def _cross_entropy_seed(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean CE over integer labels: seed is ``(softmax − onehot) / N``."""
+    n = len(logits)
+    rows = np.arange(n)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    total = exps.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(total)
+    value = -float(log_probs[rows, labels].mean())
+    seed = exps / total
+    seed[rows, labels] -= 1.0
+    seed /= n
+    return value, seed
+
+
+CROSS_ENTROPY = TrainLoss("cross_entropy", _cross_entropy_seed, cross_entropy)
+
+
+def soft_cross_entropy_loss(temperature: float = 1.0) -> TrainLoss:
+    """Temperature-scaled soft-target CE (defensive distillation's objective)."""
+
+    def value_and_seed(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        n = len(logits)
+        scaled = logits / temperature
+        shifted = scaled - scaled.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        total = exps.sum(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(total)
+        value = -float((log_probs * targets).sum(axis=-1).mean())
+        mass = targets.sum(axis=-1, keepdims=True)
+        seed = (exps / total * mass - targets) / (n * temperature)
+        return value, seed
+
+    def tensor_fn(logits: Tensor, targets: np.ndarray) -> Tensor:
+        return soft_cross_entropy(logits, targets, temperature=temperature)
+
+    return TrainLoss(f"soft_cross_entropy@T={temperature}", value_and_seed, tensor_fn)
+
+
+def _mse_seed(predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error over every element: seed is ``2·diff / size``."""
+    diff = predictions - targets
+    value = float(np.mean(diff * diff))
+    return value, diff * (2.0 / diff.size)
+
+
+MSE = TrainLoss("mse", _mse_seed, mse)
+
+
+class _FallbackTrainContext:
+    """Autograd-backed training step for networks with unknown layers."""
+
+    __slots__ = ("network", "logits", "batch_len")
+
+    def __init__(self, network: "Network", x: np.ndarray):
+        self.network = network
+        self.logits = network.forward(Tensor(np.asarray(x, dtype=np.float64)), training=True)
+        self.batch_len = len(x)
+
+    def run(self, loss: TrainLoss, targets: np.ndarray, scale: float) -> float:
+        loss_t = loss.tensor_fn(self.logits, targets)
+        loss_t.backward(np.full(loss_t.data.shape, scale))
+        return float(loss_t.data)
+
+
+class TrainingEngine:
+    """Fused, instrumented, dtype-configurable parameter gradients for one network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.nn.network.Network` to train.  Parameters are
+        read live; rebinding (``load_state``, :meth:`parameters_bound`) or
+        version-bumped in-place optimiser updates invalidate the cast
+        cache automatically.
+    dtype:
+        Compute dtype of the fused kernels.  ``float32`` (default) roughly
+        doubles BLAS throughput; ``float64`` tracks the autograd reference
+        to ~1e-10.
+    """
+
+    def __init__(self, network: "Network", dtype: np.dtype | type = np.float32):
+        self.network = network
+        self.dtype = np.dtype(dtype)
+        self.counters = TrainingCounters()
+        # param-id -> (source array ref, version, cast copy).  When the
+        # parameters are bound to the engine dtype the "cast" is the live
+        # array itself, so optimiser updates need no copy at all.
+        self._casts: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
+        self._kernels = self._compile()
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def supports_native(self) -> bool:
+        """Whether every layer runs on the fused raw-NumPy kernels."""
+        return self._kernels is not None
+
+    def reset_counters(self) -> None:
+        self.counters = TrainingCounters()
+
+    def invalidate(self) -> None:
+        """Drop every cached parameter cast (index caches are geometry-keyed)."""
+        self._casts.clear()
+
+    @contextmanager
+    def parameters_bound(self):
+        """Rebind parameters to the engine dtype for a training run.
+
+        Inside the context every ``p.data`` *is* the engine-dtype array —
+        optimiser updates, kernel reads and gradient accumulation share it
+        with zero casts.  On exit parameters are restored to float64 (the
+        serialisation dtype), so ``network.state()`` after training is
+        float64 exactly as before.  A no-op for float64 engines and for
+        fallback (non-native) networks, which train in float64 anyway.
+        """
+        params = self.network.parameters()
+        rebind = self.supports_native and self.dtype != np.float64
+        if rebind:
+            for p in params:
+                p.data = np.ascontiguousarray(p.data, dtype=self.dtype)
+        try:
+            yield
+        finally:
+            if rebind:
+                for p in params:
+                    p.data = p.data.astype(np.float64)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """One training-mode forward pass returning ``(logits, context)``.
+
+        Dropout masks are drawn and batch-norm running statistics are
+        updated, exactly as ``network.forward(..., training=True)`` would.
+        This is the advanced API; most callers want :meth:`train_batch`.
+        """
+        x = np.ascontiguousarray(np.asarray(x), dtype=self.dtype)
+        start = time.perf_counter()
+        if self._kernels is None:
+            ctx: object = _FallbackTrainContext(self.network, x)
+            out = ctx.logits.data.astype(self.dtype)
+        else:
+            layer_ctxs = []
+            out = x
+            for forward_kernel, _ in self._kernels:
+                out, layer_ctx = forward_kernel(out)
+                layer_ctxs.append(layer_ctx)
+            ctx = layer_ctxs
+        self.counters.seconds += time.perf_counter() - start
+        return out, ctx
+
+    def backward(self, ctx: object, seed: np.ndarray) -> None:
+        """Accumulate ``∂Σ(seed·Z)/∂θ`` into every parameter's ``.grad``.
+
+        Native contexts replay the kernel stack in reverse; the input
+        gradient is discarded (training needs only parameter gradients).
+        """
+        start = time.perf_counter()
+        grad = np.ascontiguousarray(np.asarray(seed), dtype=self.dtype)
+        for (_, backward_kernel), layer_ctx in zip(reversed(self._kernels), reversed(ctx)):
+            grad = backward_kernel(grad, layer_ctx)
+        self.counters.seconds += time.perf_counter() - start
+
+    def train_batch(
+        self,
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: TrainLoss = CROSS_ENTROPY,
+        scale: float = 1.0,
+    ) -> tuple[float, np.ndarray]:
+        """One fused forward + loss + parameter-gradient pass.
+
+        Accumulates ``scale · ∂loss/∂θ`` into each parameter's ``.grad``
+        (callers zero grads and step the optimiser) and returns the
+        *unscaled* loss value together with the logits (engine dtype) so
+        the training loop can track accuracy without a second forward.
+        ``scale`` lets adversarial training mix weighted clean and
+        adversarial terms into one accumulated gradient.
+        """
+        self.counters.batches += 1
+        self.counters.examples += len(x)
+        targets = np.asarray(targets)
+        logits, ctx = self.forward(x)
+        if isinstance(ctx, _FallbackTrainContext):
+            start = time.perf_counter()
+            self.counters.fallbacks += 1
+            value = ctx.run(loss, targets, scale)
+            self.counters.seconds += time.perf_counter() - start
+            return value, logits
+        value, seed = loss.value_and_seed(logits.astype(np.float64), targets)
+        if scale != 1.0:
+            seed = seed * scale
+        self.backward(ctx, seed)
+        return value, logits
+
+    # -- kernel compilation ----------------------------------------------------
+
+    def _compile(self):
+        kernels = []
+        for index, layer in enumerate(self.network.layers):
+            # The input gradient of the first layer has no consumer in
+            # training, so its backward kernel skips computing it.
+            pair = self._kernel_for(layer, first=index == 0)
+            if pair is None:
+                return None
+            kernels.append(pair)
+        return kernels
+
+    def _kernel_for(self, layer, first: bool = False):
+        if isinstance(layer, Dense):
+            return self._dense_kernel(layer, first)
+        if isinstance(layer, Conv2D):
+            return self._conv_kernel(layer, first)
+        if isinstance(layer, MaxPool2D):
+            return self._max_pool_kernel(layer)
+        if isinstance(layer, AvgPool2D):
+            return self._avg_pool_kernel(layer)
+        if isinstance(layer, Flatten):
+            return (
+                lambda x: (x.reshape(len(x), -1), x.shape),
+                lambda grad, shape: grad.reshape(shape),
+            )
+        if isinstance(layer, ReLU):
+            return (
+                lambda x: (np.maximum(x, 0.0, dtype=x.dtype), x > 0),
+                lambda grad, mask: grad * mask,
+            )
+        if isinstance(layer, Tanh):
+            return (
+                lambda x: ((out := np.tanh(x)), out),
+                lambda grad, out: grad * (1.0 - out * out),
+            )
+        if isinstance(layer, Sigmoid):
+            return (
+                lambda x: ((out := 1.0 / (1.0 + np.exp(-x))), out),
+                lambda grad, out: grad * out * (1.0 - out),
+            )
+        if isinstance(layer, Dropout):
+            return self._dropout_kernel(layer)
+        if isinstance(layer, _BatchNormBase):
+            return self._batchnorm_kernel(layer)
+        return None
+
+    def _dense_kernel(self, layer: Dense, first: bool = False):
+        weight, bias = layer.params["weight"], layer.params["bias"]
+
+        def forward(x):
+            return x @ self._param(weight) + self._param(bias), x
+
+        def backward(grad, x):
+            self._accumulate(weight, x.T @ grad)
+            self._accumulate(bias, grad.sum(axis=0))
+            return None if first else grad @ self._param(weight).T
+
+        return forward, backward
+
+    def _conv_kernel(self, layer: Conv2D, first: bool = False):
+        weight, bias = layer.params["weight"], layer.params["bias"]
+        stride, padding, kernel = layer.stride, layer.padding, layer.kernel_size
+        c_out = layer.out_channels
+
+        def forward(x):
+            if padding:
+                x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+            n, c, h, w = x.shape
+            idx, out_h, out_w = im2col_indices(c, h, w, kernel, stride)
+            cols = np.take(x.reshape(n, c * h * w), idx, axis=1).reshape(
+                n * out_h * out_w, c * kernel * kernel
+            )
+            w_mat = self._param(weight).reshape(c_out, -1)
+            out = cols @ w_mat.T + self._param(bias)
+            out = np.ascontiguousarray(out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
+            # Stash the patch matrix: the weight gradient is one contraction
+            # against it, which is the whole point of this engine.
+            return out, (cols, (n, c, h, w))
+
+        def backward(grad, ctx):
+            cols, (n, c, h, w) = ctx
+            _, out_h, out_w = im2col_indices(c, h, w, kernel, stride)
+            grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
+            self._accumulate(weight, (grad_mat.T @ cols).reshape(weight.shape))
+            self._accumulate(bias, grad_mat.sum(axis=0))
+            if first:
+                return None
+            grad_cols = grad_mat @ self._param(weight).reshape(c_out, -1)
+            gx = _col2im(grad_cols, (n, c, h, w), kernel, stride, out_h, out_w)
+            if padding:
+                gx = gx[:, :, padding:-padding, padding:-padding]
+            return np.ascontiguousarray(gx)
+
+        return forward, backward
+
+    def _max_pool_kernel(self, layer: MaxPool2D):
+        size, stride = layer.size, layer.stride
+
+        def forward(x):
+            n, c, h, w = x.shape
+            if stride == size and h % size == 0 and w % size == 0:
+                out_h, out_w = h // size, w // size
+                flat = x.reshape(n, c, out_h, size, out_w, size).transpose(0, 1, 2, 4, 3, 5)
+                flat = flat.reshape(n, c, out_h, out_w, size * size)
+                arg = flat.argmax(axis=-1)
+                out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+                return np.ascontiguousarray(out), ("fast", arg, x.shape)
+            idx, out_h, out_w = im2col_indices(1, h, w, size, stride)
+            cols = np.take(x.reshape(n * c, h * w), idx, axis=1).reshape(-1, size * size)
+            arg = cols.argmax(axis=1)
+            out = cols[np.arange(cols.shape[0]), arg].reshape(n, c, out_h, out_w)
+            return out, ("general", arg, x.shape)
+
+        def backward(grad, ctx):
+            kind, arg, x_shape = ctx
+            n, c, h, w = x_shape
+            if kind == "fast":
+                out_h, out_w = h // size, w // size
+                gflat = np.zeros((n, c, out_h, out_w, size * size), dtype=grad.dtype)
+                np.put_along_axis(gflat, arg[..., None], grad[..., None], axis=-1)
+                gx = gflat.reshape(n, c, out_h, out_w, size, size).transpose(0, 1, 2, 4, 3, 5)
+                return np.ascontiguousarray(gx.reshape(x_shape))
+            _, out_h, out_w = im2col_indices(1, h, w, size, stride)
+            gcols = np.zeros((n * c * out_h * out_w, size * size), dtype=grad.dtype)
+            gcols[np.arange(gcols.shape[0]), arg] = grad.reshape(-1)
+            gx = _col2im(gcols, (n * c, 1, h, w), size, stride, out_h, out_w)
+            return gx.reshape(x_shape)
+
+        return forward, backward
+
+    def _avg_pool_kernel(self, layer: AvgPool2D):
+        size = layer.size
+
+        def forward(x):
+            n, c, h, w = x.shape
+            blocks = x.reshape(n, c, h // size, size, w // size, size)
+            return blocks.mean(axis=(3, 5), dtype=x.dtype), x.shape
+
+        def backward(grad, x_shape):
+            spread = np.repeat(np.repeat(grad, size, axis=2), size, axis=3)
+            return spread / grad.dtype.type(size * size)
+
+        return forward, backward
+
+    def _dropout_kernel(self, layer: Dropout):
+        keep = 1.0 - layer.rate
+
+        def forward(x):
+            if layer.rate <= 0.0:
+                return x, None
+            # Draw in float64 from the layer's own generator so the engine
+            # consumes the exact Bernoulli sequence of the autograd path
+            # (seed-for-seed comparability of whole training runs).
+            mask = ((layer._rng.random(x.shape) < keep) / keep).astype(x.dtype)
+            return x * mask, mask
+
+        def backward(grad, mask):
+            return grad if mask is None else grad * mask
+
+        return forward, backward
+
+    def _batchnorm_kernel(self, layer: _BatchNormBase):
+        gamma, beta = layer.params["gamma"], layer.params["beta"]
+
+        def forward(x):
+            axes, shape = layer._axes, layer._shape
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            # Running statistics stay float64 module state, as in autograd.
+            momentum = layer.momentum
+            layer.running_mean = momentum * layer.running_mean + (1 - momentum) * mean.astype(
+                np.float64
+            )
+            layer.running_var = momentum * layer.running_var + (1 - momentum) * var.astype(
+                np.float64
+            )
+            inv_std = (1.0 / np.sqrt(var + layer.eps)).reshape(shape).astype(x.dtype)
+            xhat = (x - mean.reshape(shape)) * inv_std
+            out = xhat * self._param(gamma).reshape(shape) + self._param(beta).reshape(shape)
+            # Batch statistics are treated as constants in backward — the
+            # same simplification the autograd layer makes.
+            return out, (xhat, inv_std)
+
+        def backward(grad, ctx):
+            xhat, inv_std = ctx
+            axes, shape = layer._axes, layer._shape
+            self._accumulate(gamma, (grad * xhat).sum(axis=axes))
+            self._accumulate(beta, grad.sum(axis=axes))
+            return grad * (self._param(gamma).reshape(shape) * inv_std)
+
+        return forward, backward
+
+    # -- parameter reads and gradient accumulation -----------------------------
+
+    def _param(self, param: Tensor) -> np.ndarray:
+        """Live engine-dtype view of a parameter (identity+version-checked).
+
+        When :meth:`parameters_bound` is active the stored array already
+        has the engine dtype, so this returns it without copying.
+        """
+        source = param.data
+        entry = self._casts.get(id(param))
+        if entry is None or entry[0] is not source or entry[1] != param.version:
+            entry = (source, param.version, np.ascontiguousarray(source, dtype=self.dtype))
+            self._casts[id(param)] = entry
+        return entry[2]
+
+    @staticmethod
+    def _accumulate(param: Tensor, grad: np.ndarray) -> None:
+        if param.grad is None:
+            param.grad = grad
+        else:
+            param.grad += grad

@@ -89,19 +89,45 @@ def train_network(
     dataset: Dataset,
     config: ModelConfig,
     verbose: bool = False,
+    train_dtype: str = "float32",
 ) -> float:
-    """Train ``network`` on the dataset's training split; returns test accuracy."""
+    """Train ``network`` on the dataset's training split; returns test accuracy.
+
+    ``train_dtype`` selects the fused-kernel compute dtype of the
+    :class:`~repro.nn.train_engine.TrainingEngine`; weights are always
+    float64 after training (the serialisation dtype).
+    """
     rng = np.random.default_rng(config.seed + 1)
     optimizer = Adam(network.parameters(), lr=config.learning_rate)
     train_config = TrainConfig(
-        epochs=config.epochs, batch_size=config.batch_size, verbose=verbose, lr_decay=0.92
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        verbose=verbose,
+        lr_decay=0.92,
+        dtype=train_dtype,
     )
     fit(network, optimizer, dataset.x_train, dataset.y_train, train_config, rng)
     return network.accuracy(dataset.x_test, dataset.y_test)
 
 
+def _dtype_key(key: dict, train_dtype: str) -> dict:
+    """Extend a cache key with the training dtype, float64 staying legacy.
+
+    Entries trained on the float64 path keep their pre-engine keys, so
+    every previously cached ``.npz`` still loads byte-identically; only
+    non-default dtypes fork new entries.
+    """
+    if train_dtype != "float64":
+        key = {**key, "train_dtype": train_dtype}
+    return key
+
+
 def load_model(
-    dataset: Dataset, model_name: str | None = None, cache: bool = True, verbose: bool = False
+    dataset: Dataset,
+    model_name: str | None = None,
+    cache: bool = True,
+    verbose: bool = False,
+    train_dtype: str = "float32",
 ) -> Network:
     """Return a trained standard classifier for ``dataset`` (cached on disk)."""
     model_name = model_name or _DATASET_MODEL.get(dataset.name, "cnn-fast")
@@ -109,11 +135,11 @@ def load_model(
     network = build_network(config, dataset.input_shape, 10)
 
     def build() -> dict[str, np.ndarray]:
-        train_network(network, dataset, config, verbose=verbose)
+        train_network(network, dataset, config, verbose=verbose, train_dtype=train_dtype)
         return network.state()
 
     if cache:
-        key = {"kind": "model", "dataset": dataset.name, **config.__dict__}
+        key = _dtype_key({"kind": "model", "dataset": dataset.name, **config.__dict__}, train_dtype)
         network.load_state(memoize_arrays(key, build))
     else:
         build()

@@ -118,3 +118,71 @@ class TestOptimizers:
         opt = SGD([p], lr=0.1)
         opt.step()  # no backward yet; must not crash
         np.testing.assert_array_equal(p.data, np.ones(2))
+
+
+class TestInPlaceUpdates:
+    """The optimisers must update ``p.data`` in place — the TrainingEngine
+    binds kernels to the parameter arrays themselves, so a step that
+    reallocates would silently train a dead copy."""
+
+    @pytest.mark.parametrize(
+        "make_opt",
+        [
+            lambda params: SGD(params, lr=0.1),
+            lambda params: SGD(params, lr=0.1, momentum=0.9),
+            lambda params: SGD(params, lr=0.1, weight_decay=0.01),
+            lambda params: SGD(params, lr=0.1, momentum=0.9, weight_decay=0.01),
+            lambda params: Adam(params, lr=0.1),
+            lambda params: Adam(params, lr=0.1, weight_decay=0.01),
+        ],
+    )
+    def test_data_identity_preserved(self, make_opt):
+        rng = np.random.default_rng(0)
+        params = [Tensor(rng.normal(size=(3, 4)), requires_grad=True) for _ in range(2)]
+        arrays = [p.data for p in params]
+        opt = make_opt(params)
+        for _ in range(3):
+            for p in params:
+                p.grad = rng.normal(size=p.data.shape)
+            opt.step()
+        for p, original in zip(params, arrays):
+            assert p.data is original  # same buffer, mutated in place
+
+    @pytest.mark.parametrize("optimizer_cls", [SGD, Adam])
+    def test_step_bumps_version(self, optimizer_cls):
+        p = Tensor(np.ones(4), requires_grad=True)
+        opt = optimizer_cls([p], lr=0.1)
+        p.grad = np.ones(4)
+        before = p.version
+        opt.step()
+        assert p.version > before  # engines key cached casts on this
+
+    def test_float32_params_keep_dtype_and_state(self):
+        p = Tensor(np.ones((2, 2)), requires_grad=True)
+        p.data = p.data.astype(np.float32)  # as TrainingEngine.parameters_bound does
+        opt = Adam([p], lr=0.01)
+        p.grad = np.full((2, 2), 0.5, dtype=np.float32)
+        opt.step()
+        assert p.data.dtype == np.float32
+        assert all(buf.dtype == np.float32 for buf in opt._state[0].values())
+
+    @pytest.mark.parametrize("optimizer_cls", [SGD, Adam])
+    def test_inplace_matches_scalar_reference(self, optimizer_cls):
+        """The buffered implementation is numerically the textbook update."""
+        final, target = _quadratic_descend(optimizer_cls, steps=50, lr=0.05)
+        # Reference: plain float arithmetic on the same quadratic.
+        ref = np.zeros(2)
+        if optimizer_cls is SGD:
+            for _ in range(50):
+                ref = ref - 0.05 * 2 * (ref - target)
+        else:
+            m = np.zeros(2)
+            v = np.zeros(2)
+            for t in range(1, 51):
+                g = 2 * (ref - target)
+                m = 0.9 * m + 0.1 * g
+                v = 0.999 * v + 0.001 * g * g
+                m_hat = m / (1 - 0.9**t)
+                v_hat = v / (1 - 0.999**t)
+                ref = ref - 0.05 * m_hat / (np.sqrt(v_hat) + 1e-8)
+        np.testing.assert_allclose(final, ref, atol=1e-12)

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.nn import Adam, Dense, Network, ReLU, TrainConfig, fit
+from repro.nn import CROSS_ENTROPY, Adam, Dense, Network, ReLU, TrainConfig, fit
 from repro.nn.losses import one_hot, soft_cross_entropy
+from repro.nn.schedules import CosineSchedule, StepSchedule
 
 
 def _two_blob_data(n=200, seed=0):
@@ -81,3 +82,93 @@ class TestFit:
             )
             results.append(net.logits(x[:5]))
         np.testing.assert_array_equal(results[0], results[1])
+
+    def test_params_stay_float64_after_engine_fit(self):
+        """float32 engine training must restore the serialisation dtype."""
+        x, y = _two_blob_data(40)
+        net = _make_net()
+        fit(net, Adam(net.parameters()), x, y, TrainConfig(epochs=2), np.random.default_rng(0))
+        assert all(p.data.dtype == np.float64 for p in net.parameters())
+        assert net.train_engine.counters.batches > 0
+
+    def test_engine_and_autograd_agree_seed_for_seed(self):
+        """float64 engine fit reproduces the legacy autograd fit exactly."""
+        x, y = _two_blob_data(60)
+        outputs = []
+        for engine in (True, False):
+            net = _make_net(seed=3)
+            fit(
+                net, Adam(net.parameters(), lr=0.01), x, y,
+                TrainConfig(epochs=3, batch_size=16, dtype="float64", engine=engine),
+                np.random.default_rng(5),
+            )
+            outputs.append(net.logits(x[:5]))
+        np.testing.assert_allclose(outputs[0], outputs[1], atol=1e-9)
+
+    def test_float32_engine_matches_autograd_accuracy(self):
+        x, y = _two_blob_data()
+        accuracies = []
+        for engine in (True, False):
+            net = _make_net(seed=1)
+            fit(
+                net, Adam(net.parameters(), lr=0.01), x, y,
+                TrainConfig(epochs=30, batch_size=32, engine=engine),
+                np.random.default_rng(1),
+            )
+            accuracies.append(net.accuracy(x, y))
+        assert accuracies[0] > 0.95
+        assert abs(accuracies[0] - accuracies[1]) <= 0.02
+
+    def test_explicit_train_loss_without_engine(self):
+        """A TrainLoss passed with engine=False must use its autograd form."""
+        x, y = _two_blob_data(50)
+        net = _make_net(seed=2)
+        history = fit(
+            net, Adam(net.parameters(), lr=0.01), x, y,
+            TrainConfig(epochs=5, batch_size=16, engine=False), np.random.default_rng(0),
+            loss=CROSS_ENTROPY,
+        )
+        assert history.loss[-1] < history.loss[0]
+
+
+class TestSchedules:
+    def test_epoch_seconds_recorded(self):
+        x, y = _two_blob_data(40)
+        net = _make_net()
+        history = fit(
+            net, Adam(net.parameters()), x, y,
+            TrainConfig(epochs=4), np.random.default_rng(0),
+        )
+        assert len(history.epoch_seconds) == 4
+        assert all(s > 0 for s in history.epoch_seconds)
+        assert sum(history.epoch_seconds) <= history.seconds
+
+    def test_step_schedule_drives_lr(self):
+        x, y = _two_blob_data(40)
+        net = _make_net()
+        opt = Adam(net.parameters(), lr=0.01)
+        schedule = StepSchedule(0.01, step=2, gamma=0.1)
+        fit(net, opt, x, y, TrainConfig(epochs=4, schedule=schedule), np.random.default_rng(0))
+        assert opt.lr == pytest.approx(schedule.rate(4))
+
+    def test_callable_schedule_drives_lr(self):
+        x, y = _two_blob_data(40)
+        net = _make_net()
+        opt = Adam(net.parameters(), lr=0.01)
+        fit(
+            net, opt, x, y,
+            TrainConfig(epochs=3, schedule=lambda epoch: 0.01 / (1 + epoch)),
+            np.random.default_rng(0),
+        )
+        assert opt.lr == pytest.approx(0.01 / 4)
+
+    def test_cosine_schedule_converges(self):
+        x, y = _two_blob_data()
+        net = _make_net()
+        opt = Adam(net.parameters(), lr=0.01)
+        fit(
+            net, opt, x, y,
+            TrainConfig(epochs=30, batch_size=32, schedule=CosineSchedule(0.01, epochs=30, min_lr=1e-4)),
+            np.random.default_rng(1),
+        )
+        assert net.accuracy(x, y) > 0.95
