@@ -15,6 +15,14 @@ python -m compileall -q src benchmarks scripts
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
 
+echo "== nn + verify tests, warnings as errors =="
+# The numerics tree must be warning-clean: a RuntimeWarning (overflow,
+# invalid value) from a kernel is a latent divergence, not noise.
+python -m pytest -x -q -W error tests/nn tests/verify
+
+echo "== verify smoke (cross-engine differential) =="
+REPRO_VERIFY=1 python -m repro verify --seed 0 --cases 6
+
 echo "== gradient-engine benchmark (smoke) =="
 python benchmarks/bench_grad_throughput.py --smoke > /dev/null
 echo "ok"

@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import uuid
 import zipfile
 from pathlib import Path
 from typing import Callable
@@ -38,9 +39,44 @@ def cache_dir() -> Path:
     return path
 
 
+def _canonical(value):
+    """Reduce a spec value to plain JSON types; refuse anything lossy.
+
+    ``json.dumps(..., default=str)`` silently stringified whatever it did
+    not understand — two distinct specs (a dtype object vs. its name, an
+    exotic object whose ``repr`` embeds its address) could collide on, or
+    spuriously split, a cache key.  NumPy scalars and dtypes are the
+    legitimate non-JSON inhabitants of specs, so convert exactly those and
+    raise :class:`TypeError` for everything else.
+    """
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if value is None or isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, np.generic):  # np.float64(0.3), np.int64(7), ...
+        return value.item()
+    if isinstance(value, np.dtype):
+        return value.name
+    if isinstance(value, type) and issubclass(value, np.generic):  # np.float32 the type
+        return np.dtype(value).name
+    raise TypeError(
+        f"cache spec value {value!r} of type {type(value).__name__} is not "
+        "canonicalisable; pass plain JSON types, NumPy scalars or dtypes"
+    )
+
+
 def cache_key(spec: dict) -> str:
-    """Stable hash of a JSON-serialisable parameter dict."""
-    canonical = json.dumps(spec, sort_keys=True, default=str)
+    """Stable hash of a parameter dict (JSON types, NumPy scalars, dtypes).
+
+    Identical to the JSON serialisation for pure-JSON specs (existing cache
+    entries keep their keys); NumPy values are canonicalised explicitly and
+    anything else raises instead of being silently stringified.
+    """
+    canonical = json.dumps(_canonical(spec), sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:20]
 
 
@@ -51,18 +87,31 @@ def weights_fingerprint(network) -> str:
     calibrated radii, detectors — embed this in their cache keys so a
     retrained or differently-trained model can never be silently paired
     with stale derived artifacts.
+
+    Each parameter's shape and storage dtype are mixed into the digest
+    alongside its bytes: hashing the concatenated byte stream alone lets
+    two different networks that merely split the same values differently
+    (e.g. a (2, 6) weight vs. a (3, 4) one, or a transposed layout)
+    collide.  The ``v2`` prefix bumps every fingerprint so artifacts
+    derived under the collision-prone scheme are rebuilt, never reused.
     """
-    digest = hashlib.sha256()
+    digest = hashlib.sha256(b"weights-fingerprint-v2")
     for p in network.parameters():
-        digest.update(np.ascontiguousarray(p.data, dtype=np.float64).tobytes())
+        arr = np.ascontiguousarray(p.data, dtype=np.float64)
+        digest.update(repr((arr.shape, str(p.data.dtype))).encode())
+        digest.update(arr.tobytes())
     return digest.hexdigest()[:16]
 
 
 def _load_arrays(path: Path) -> dict[str, np.ndarray] | None:
     """Load an ``.npz`` archive, returning ``None`` if it is unusable."""
     try:
-        with np.load(path) as archive:
-            return {key: archive[key] for key in archive.files}
+        # Own the handle: np.load(path) opens the file itself, and when the
+        # zip header is corrupt it raises *before* the context manager could
+        # take ownership, leaking the descriptor to the GC.
+        with open(path, "rb") as handle:
+            with np.load(handle) as archive:
+                return {key: archive[key] for key in archive.files}
     except (zipfile.BadZipFile, OSError, KeyError, ValueError, EOFError):
         return None
 
@@ -82,7 +131,10 @@ def memoize_arrays(spec: dict, build: Callable[[], dict[str, np.ndarray]]) -> di
         # Corrupt or truncated archive: discard and rebuild below.
         path.unlink(missing_ok=True)
     arrays = build()
-    tmp = path.with_suffix(f".tmp-{os.getpid()}.npz")
+    # pid alone is not unique: two threads of one process racing on the
+    # same key would write the same tmp file and clobber each other before
+    # either os.replace lands.  A uuid suffix gives every writer its own.
+    tmp = path.with_suffix(f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.npz")
     try:
         np.savez_compressed(tmp, **arrays)
         os.replace(tmp, path)

@@ -9,6 +9,7 @@ Commands
 * ``evaluate`` — the paper's defense comparison on one dataset.
 * ``table`` — regenerate a paper table (2, 3, 4, 5 or 6).
 * ``figure`` — regenerate a paper figure (1 or 4).
+* ``verify`` — differential verification of the fused engines vs autograd.
 
 All heavy artifacts go through the ``.artifacts`` cache, so repeated
 invocations are fast.
@@ -56,6 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="run all experiments, emit a markdown report")
     rep.add_argument("--output", default=None, help="write to a file instead of stdout")
     rep.add_argument("--light", action="store_true", help="only Table 2 and Fig. 4")
+
+    verify = sub.add_parser(
+        "verify", help="differential verification of the fused engines vs autograd"
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--cases", type=int, default=25, help="randomized cases to run")
+    verify.add_argument(
+        "--dtype",
+        choices=("float32", "float64", "both"),
+        default="both",
+        help="engine compute dtype(s) to cross-check",
+    )
 
     return parser
 
@@ -206,6 +219,19 @@ def _cmd_report(output: str | None, light: bool) -> int:
     return 0
 
 
+def _cmd_verify(seed: int, cases: int, dtype: str) -> int:
+    from .verify import run_verify
+
+    dtypes = {
+        "float32": (np.float32,),
+        "float64": (np.float64,),
+        "both": (np.float32, np.float64),
+    }[dtype]
+    report = run_verify(seed=seed, cases=cases, dtypes=dtypes)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -222,6 +248,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure(args.which)
     if args.command == "report":
         return _cmd_report(args.output, args.light)
+    if args.command == "verify":
+        return _cmd_verify(args.seed, args.cases, args.dtype)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

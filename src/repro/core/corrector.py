@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..defenses.region import region_vote
+from ..defenses.region import call_rng, region_vote
 from ..nn.network import Network
 
 __all__ = ["Corrector"]
@@ -34,10 +34,16 @@ class Corrector:
         self.network = network
         self.radius = radius
         self.samples = samples
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
     def correct(self, x: np.ndarray) -> np.ndarray:
-        """Recover labels for a batch of flagged inputs."""
+        """Recover labels for a batch of flagged inputs.
+
+        Deterministic in ``(seed, x)``: the vote generator is derived per
+        call from the input digest, so the recovered labels do not depend
+        on how many corrections preceded this one.
+        """
         if len(x) == 0:
             return np.array([], dtype=int)
-        return region_vote(self.network, x, self.radius, self.samples, self._rng)
+        x = np.asarray(x, dtype=np.float64)
+        return region_vote(self.network, x, self.radius, self.samples, call_rng(self.seed, x))

@@ -10,12 +10,30 @@ shows its corrector achieves the same recovery with ``m = 50``.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..datasets.dataset import PIXEL_MAX, PIXEL_MIN
 from ..nn.network import Network
 
-__all__ = ["region_vote", "RegionClassifier"]
+__all__ = ["region_vote", "call_rng", "RegionClassifier"]
+
+
+def call_rng(seed: int, x: np.ndarray) -> np.random.Generator:
+    """Per-call generator derived from a base seed and the input's content.
+
+    A classifier holding one mutable generator answers differently
+    depending on how many calls preceded this one — evaluating defenses in
+    a different order silently changes their reported accuracy.  Folding a
+    digest of the input bytes (and shape) into the seed makes every call a
+    pure function of ``(seed, x)``: same input, same vote, in any order.
+    """
+    x = np.ascontiguousarray(x)
+    digest = hashlib.sha256(repr((x.shape, str(x.dtype))).encode())
+    digest.update(x.tobytes())
+    words = np.frombuffer(digest.digest()[:16], dtype=np.uint32)
+    return np.random.default_rng(np.random.SeedSequence([seed, *map(int, words)]))
 
 
 def region_vote(
@@ -80,7 +98,10 @@ class RegionClassifier:
         self.network = network
         self.radius = radius
         self.samples = samples
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
     def classify(self, x: np.ndarray) -> np.ndarray:
-        return region_vote(self.network, x, self.radius, self.samples, self._rng)
+        # Fresh generator per call (seed ⊕ input digest): labels depend
+        # only on the input, never on how many calls came before.
+        x = np.asarray(x, dtype=np.float64)
+        return region_vote(self.network, x, self.radius, self.samples, call_rng(self.seed, x))

@@ -41,9 +41,10 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..verify import guards
 from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
 from .norm import _BatchNormBase
-from .ops import im2col
+from .ops import im2col, stable_sigmoid
 from .tensor import Tensor, no_grad
 
 if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
@@ -147,8 +148,9 @@ class InferenceEngine:
                 return hit
             self.counters.memo_misses += 1
         out = self._run_batches(x, batch_size or self.batch_size)
+        guards.check_output("InferenceEngine.logits", out, self.dtype)
         if use_memo:
-            self._memo_store(key, out)
+            out = self._memo_store(key, out)
         return out
 
     def softmax(
@@ -212,12 +214,19 @@ class InferenceEngine:
             self._memo.move_to_end(key)
         return hit
 
-    def _memo_store(self, key: bytes, value: np.ndarray) -> None:
+    def _memo_store(self, key: bytes, value: np.ndarray) -> np.ndarray:
+        # A stack of pure pass-through kernels (e.g. only Dropout/Flatten)
+        # hands back a view of the caller's input; memoising that view would
+        # freeze caller memory read-only and let later in-place edits of the
+        # input silently rewrite the memoised logits.  Own the bytes first.
+        if value.base is not None or not value.flags.owndata:
+            value = value.copy()
         value.setflags(write=False)
         self._memo[key] = value
         self._memo.move_to_end(key)
         while len(self._memo) > self.memo_entries:
             self._memo.popitem(last=False)
+        return value
 
     def _params_unchanged(self) -> bool:
         refs = self._memo_param_refs
@@ -243,9 +252,11 @@ class InferenceEngine:
     def _forward(self, batch: np.ndarray) -> np.ndarray:
         if self._kernels is None:
             # Legacy fallback for unknown layer types: float64 autograd
-            # forward with graph recording disabled.
+            # forward with graph recording disabled.  Cast back so callers
+            # always receive the engine dtype, native path or not.
             with no_grad():
-                return self.network.forward(Tensor(batch)).data
+                out = self.network.forward(Tensor(batch)).data
+            return np.ascontiguousarray(out, dtype=self.dtype)
         out = batch
         for kernel in self._kernels:
             out = kernel(out)
@@ -273,13 +284,13 @@ class InferenceEngine:
         if isinstance(layer, AvgPool2D):
             return lambda x: _avg_pool(x, layer.size)
         if isinstance(layer, Flatten):
-            return lambda x: x.reshape(len(x), -1)
+            return lambda x: x.reshape(len(x), int(np.prod(x.shape[1:])))
         if isinstance(layer, ReLU):
             return lambda x: np.maximum(x, 0.0, dtype=x.dtype)
         if isinstance(layer, Tanh):
             return np.tanh
         if isinstance(layer, Sigmoid):
-            return lambda x: 1.0 / (1.0 + np.exp(-x))
+            return stable_sigmoid
         if isinstance(layer, Dropout):
             return lambda x: x  # inference-time identity
         if isinstance(layer, _BatchNormBase):

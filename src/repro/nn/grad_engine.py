@@ -45,8 +45,10 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..verify import guards
 from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
 from .norm import _BatchNormBase
+from .ops import stable_sigmoid
 from .tensor import Tensor
 
 if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
@@ -246,6 +248,7 @@ class GradientEngine:
                 layer_ctxs.append(layer_ctx)
             ctx = _NativeContext(layer_ctxs, len(x))
         self.counters.seconds += time.perf_counter() - start
+        guards.check_output("GradientEngine.forward", out, self.dtype)
         return out, ctx
 
     def backward(self, ctx: object, seed: np.ndarray) -> np.ndarray:
@@ -268,6 +271,7 @@ class GradientEngine:
             ):
                 grad = backward_kernel(grad, layer_ctx)
         self.counters.seconds += time.perf_counter() - start
+        guards.check_output("GradientEngine.backward", grad, self.dtype)
         return grad
 
     def cross_entropy_input_grad(
@@ -388,7 +392,7 @@ class GradientEngine:
             return self._avg_pool_kernel(layer)
         if isinstance(layer, Flatten):
             return (
-                lambda x: (x.reshape(len(x), -1), x.shape),
+                lambda x: (x.reshape(len(x), int(np.prod(x.shape[1:]))), x.shape),
                 lambda grad, shape: grad.reshape(shape),
             )
         if isinstance(layer, ReLU):
@@ -403,7 +407,7 @@ class GradientEngine:
             )
         if isinstance(layer, Sigmoid):
             return (
-                lambda x: ((out := 1.0 / (1.0 + np.exp(-x))), out),
+                lambda x: ((out := stable_sigmoid(x)), out),
                 lambda grad, out: grad * out * (1.0 - out),
             )
         if isinstance(layer, Dropout):

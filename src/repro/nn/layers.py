@@ -159,7 +159,9 @@ class Flatten(Layer):
     """Flatten all but the batch dimension."""
 
     def forward(self, x: Tensor, training: bool) -> Tensor:
-        return x.reshape((x.shape[0], -1))
+        # Explicit feature count: reshape((0, -1)) is ambiguous to NumPy and
+        # raises on empty batches even though the target shape is well-defined.
+        return x.reshape((x.shape[0], int(np.prod(x.shape[1:]))))
 
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         return (int(np.prod(input_shape)),)

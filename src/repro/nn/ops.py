@@ -24,6 +24,7 @@ __all__ = [
     "tanh",
     "sigmoid",
     "relu",
+    "stable_sigmoid",
     "abs_",
     "maximum",
     "clip",
@@ -153,9 +154,23 @@ def tanh(a) -> Tensor:
     return Tensor._from_op(out_data, (a,), backward)
 
 
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Overflow-free logistic function on a plain array (dtype-preserving).
+
+    The naive ``1 / (1 + exp(-x))`` overflows ``exp`` for strongly negative
+    inputs (|x| ≳ 88 in float32, ≳ 709 in float64) — the result saturates
+    correctly but the intermediate raises under ``np.errstate(over='raise')``
+    and trips warnings-as-errors test runs.  Computing through
+    ``exp(-|x|) ≤ 1`` never overflows; the three fused engines and the
+    autograd op all share this kernel so they stay bit-identical.
+    """
+    e = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
+
+
 def sigmoid(a) -> Tensor:
     a = as_tensor(a)
-    out_data = 1.0 / (1.0 + np.exp(-a.data))
+    out_data = stable_sigmoid(a.data)
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:

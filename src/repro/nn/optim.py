@@ -24,6 +24,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..verify import guards
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam"]
@@ -51,6 +52,16 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def _check_guards(self, where: str) -> None:
+        """Opt-in pre-step guards: finite gradients, no data/grad aliasing."""
+        if not guards.active():
+            return
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            guards.check_finite(where, p.grad)
+            guards.check_update_safe(where, p)
+
     def zero_grad(self) -> None:
         for p in self.parameters:
             p.zero_grad()
@@ -72,6 +83,7 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
 
     def step(self) -> None:
+        self._check_guards("SGD.step")
         for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
@@ -123,6 +135,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        self._check_guards("Adam.step")
         self._t += 1
         step_size = self.lr / (1.0 - self.beta1**self._t)
         denom_scale = 1.0 / np.sqrt(1.0 - self.beta2**self._t)

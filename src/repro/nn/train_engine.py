@@ -61,10 +61,12 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..verify import guards
 from .grad_engine import _col2im, im2col_indices
 from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
 from .losses import cross_entropy, mse, one_hot, soft_cross_entropy
 from .norm import _BatchNormBase
+from .ops import stable_sigmoid
 from .tensor import Tensor
 
 if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
@@ -289,6 +291,11 @@ class TrainingEngine:
         ``scale`` lets adversarial training mix weighted clean and
         adversarial terms into one accumulated gradient.
         """
+        if len(x) == 0:
+            # Loss means over the batch; an empty batch would nan-propagate
+            # into every parameter gradient.  No examples → no loss, no grads.
+            shape = (0,) + tuple(self.network.output_shape)
+            return 0.0, np.zeros(shape, dtype=self.dtype)
         self.counters.batches += 1
         self.counters.examples += len(x)
         targets = np.asarray(targets)
@@ -298,12 +305,25 @@ class TrainingEngine:
             self.counters.fallbacks += 1
             value = ctx.run(loss, targets, scale)
             self.counters.seconds += time.perf_counter() - start
+            self._check_guards(value, logits)
             return value, logits
         value, seed = loss.value_and_seed(logits.astype(np.float64), targets)
         if scale != 1.0:
             seed = seed * scale
         self.backward(ctx, seed)
+        self._check_guards(value, logits)
         return value, logits
+
+    def _check_guards(self, value: float, logits: np.ndarray) -> None:
+        """Boundary guards on everything a training step hands back."""
+        if not guards.active():
+            return
+        guards.check_finite("TrainingEngine.train_batch loss", np.asarray(value))
+        guards.check_output("TrainingEngine.train_batch logits", logits, self.dtype)
+        for param in self.network.parameters():
+            if param.grad is not None:
+                guards.check_finite("TrainingEngine.train_batch grad", param.grad)
+                guards.check_update_safe("TrainingEngine.train_batch", param)
 
     # -- kernel compilation ----------------------------------------------------
 
@@ -329,7 +349,7 @@ class TrainingEngine:
             return self._avg_pool_kernel(layer)
         if isinstance(layer, Flatten):
             return (
-                lambda x: (x.reshape(len(x), -1), x.shape),
+                lambda x: (x.reshape(len(x), int(np.prod(x.shape[1:]))), x.shape),
                 lambda grad, shape: grad.reshape(shape),
             )
         if isinstance(layer, ReLU):
@@ -344,7 +364,7 @@ class TrainingEngine:
             )
         if isinstance(layer, Sigmoid):
             return (
-                lambda x: ((out := 1.0 / (1.0 + np.exp(-x))), out),
+                lambda x: ((out := stable_sigmoid(x)), out),
                 lambda grad, out: grad * out * (1.0 - out),
             )
         if isinstance(layer, Dropout):

@@ -1,0 +1,47 @@
+"""Differential verification of the fused engines against autograd.
+
+Two halves:
+
+* :mod:`repro.verify.guards` — opt-in runtime guards (``REPRO_VERIFY=1``)
+  trapping NaN/Inf, silent dtype drift and optimiser aliasing at engine
+  boundaries.  Imported eagerly: it depends on nothing inside ``repro``,
+  so the engines can call into it without an import cycle.
+* :mod:`repro.verify.differ` / :mod:`repro.verify.report` — the
+  cross-engine differential verifier behind ``python -m repro verify``.
+  Loaded lazily, because the differ imports ``repro.nn`` which in turn
+  imports the guards.
+"""
+
+from __future__ import annotations
+
+from . import guards
+
+__all__ = [
+    "guards",
+    "GuardViolation",
+    "Report",
+    "Divergence",
+    "REL_BUDGET",
+    "build_case",
+    "diff_case",
+    "run_verify",
+    "sample_case",
+    "ulp_distance",
+]
+
+GuardViolation = guards.GuardViolation
+
+_DIFFER = {"REL_BUDGET", "Case", "build_case", "diff_case", "run_verify", "sample_case", "ulp_distance"}
+_REPORT = {"Report", "Divergence", "LayerStat"}
+
+
+def __getattr__(name: str):
+    if name in _DIFFER:
+        from . import differ
+
+        return getattr(differ, name)
+    if name in _REPORT:
+        from . import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

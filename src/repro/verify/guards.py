@@ -1,0 +1,121 @@
+"""Opt-in runtime guards trapping numerical corruption at engine boundaries.
+
+Enable with ``REPRO_VERIFY=1`` in the environment, or programmatically with
+the :func:`enforce` context manager (which overrides the environment either
+way).  Disabled, every check is a single predicate — cheap enough that the
+engines call them unconditionally on each batch.
+
+Three failure classes are trapped the moment they cross an engine boundary,
+instead of surfacing hundreds of batches later as a corrupt table entry:
+
+* **Non-finite values** — NaN or Inf in logits, input gradients, parameter
+  gradients or loss values (:func:`check_finite`).
+* **Silent dtype drift** — an engine configured for one compute dtype
+  handing back another, e.g. a float64 fallback result escaping from a
+  float32 engine (:func:`check_dtype`).
+* **In-place aliasing** — a parameter whose ``.grad`` shares memory with
+  its ``.data``: the in-place SGD/Adam updates would then corrupt the
+  gradient mid-step (:func:`check_update_safe`).
+
+This module deliberately imports nothing from the rest of :mod:`repro`, so
+the engines (``repro.nn``) can import it without creating a cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "GuardViolation",
+    "active",
+    "enforce",
+    "check_finite",
+    "check_dtype",
+    "check_output",
+    "check_update_safe",
+]
+
+_ENV_VAR = "REPRO_VERIFY"
+_override: bool | None = None
+
+
+class GuardViolation(RuntimeError):
+    """A numerical invariant was violated at an engine boundary."""
+
+
+def active() -> bool:
+    """Whether guards are currently enforced."""
+    if _override is not None:
+        return _override
+    return os.environ.get(_ENV_VAR, "") not in ("", "0")
+
+
+@contextmanager
+def enforce(on: bool = True) -> Iterator[None]:
+    """Force guards on (or off) within a block, overriding the environment."""
+    global _override
+    previous = _override
+    _override = bool(on)
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+def check_finite(where: str, value) -> None:
+    """Trap NaN/Inf the moment it crosses an engine boundary."""
+    if not active():
+        return
+    arr = np.asarray(value)
+    if arr.dtype.kind != "f" or (arr.size and bool(np.isfinite(arr).all())):
+        return
+    bad = arr[~np.isfinite(arr)]
+    raise GuardViolation(
+        f"{where}: {bad.size} non-finite value(s) crossed an engine boundary "
+        f"(first: {bad.reshape(-1)[:4].tolist()})"
+    )
+
+
+def check_dtype(where: str, value, expected) -> None:
+    """Trap silent dtype drift against the engine's configured dtype."""
+    if not active():
+        return
+    actual = np.asarray(value).dtype
+    expected = np.dtype(expected)
+    if actual != expected:
+        raise GuardViolation(
+            f"{where}: result dtype drifted to {actual}, engine is configured for {expected}"
+        )
+
+
+def check_output(where: str, value, expected_dtype) -> None:
+    """The common engine boundary check: dtype stability plus finiteness."""
+    if not active():
+        return
+    check_dtype(where, value, expected_dtype)
+    check_finite(where, value)
+
+
+def check_update_safe(where: str, param) -> None:
+    """Trap a parameter whose gradient aliases its own storage.
+
+    The optimisers update ``param.data`` strictly in place; if ``.grad``
+    shares memory with ``.data`` the update rewrites the gradient while it
+    is still being consumed, silently corrupting the step.
+    """
+    if not active():
+        return
+    grad = getattr(param, "grad", None)
+    data = getattr(param, "data", None)
+    if grad is None or data is None:
+        return
+    if np.shares_memory(data, grad):
+        raise GuardViolation(
+            f"{where}: parameter gradient aliases the parameter storage "
+            f"(shape {np.asarray(data).shape}); the in-place update would "
+            "corrupt the gradient mid-step"
+        )

@@ -56,3 +56,62 @@ class TestRegionClassifier:
     def test_name(self, tiny_correct):
         network, _, _ = tiny_correct
         assert RegionClassifier(network, 0.1).name == "rc"
+
+
+class TestRegionClassifierDeterminism:
+    """Labels are a pure function of (seed, input) — never of call order."""
+
+    def _rc(self, network, seed=3):
+        return RegionClassifier(network, radius=0.05, samples=25, seed=seed)
+
+    def test_call_order_does_not_change_labels(self, tiny_correct):
+        network, x, _ = tiny_correct
+        first = self._rc(network)
+        second = self._rc(network)
+        a1 = first.classify(x[:5])
+        b1 = first.classify(x[5:10])
+        # Reversed call order on a fresh instance: before the fix, the
+        # shared generator state made these disagree.
+        b2 = second.classify(x[5:10])
+        a2 = second.classify(x[:5])
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_repeat_calls_pin_exact_labels(self, tiny_correct):
+        network, x, _ = tiny_correct
+        rc = self._rc(network)
+        labels = rc.classify(x[:8])
+        # Exact labels, not tolerance: the same input always gets the
+        # same vote, even after unrelated intervening calls.
+        rc.classify(x[8:12])
+        np.testing.assert_array_equal(rc.classify(x[:8]), labels)
+        np.testing.assert_array_equal(self._rc(network).classify(x[:8]), labels)
+
+    def test_different_seeds_draw_different_noise(self, tiny_correct):
+        network, x, _ = tiny_correct
+        from repro.defenses.region import call_rng
+
+        a = call_rng(0, x[:4]).random(8)
+        b = call_rng(1, x[:4]).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_inputs_draw_different_noise(self, tiny_correct):
+        network, x, _ = tiny_correct
+        from repro.defenses.region import call_rng
+
+        a = call_rng(0, x[:4]).random(8)
+        b = call_rng(0, x[4:8]).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_corrector_is_call_order_independent(self, tiny_correct):
+        from repro.core.corrector import Corrector
+
+        network, x, _ = tiny_correct
+        first = Corrector(network, radius=0.05, samples=25, seed=1)
+        second = Corrector(network, radius=0.05, samples=25, seed=1)
+        a1 = first.correct(x[:4])
+        b1 = first.correct(x[4:8])
+        b2 = second.correct(x[4:8])
+        a2 = second.correct(x[:4])
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)

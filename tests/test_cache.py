@@ -1,9 +1,12 @@
 """Tests for the on-disk artifact cache."""
 
+import json
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
-from repro.cache import cache_dir, cache_key, memoize_arrays
+from repro.cache import cache_dir, cache_key, memoize_arrays, weights_fingerprint
 
 
 @pytest.fixture(autouse=True)
@@ -18,6 +21,67 @@ class TestCacheKey:
 
     def test_distinguishes_specs(self):
         assert cache_key({"a": 1}) != cache_key({"a": 2})
+
+    def test_pure_json_specs_keep_their_keys(self):
+        # Canonicalisation must not invalidate existing on-disk entries:
+        # for plain JSON specs the key equals the legacy serialisation.
+        spec = {"kind": "pool", "eps": 0.3, "n": 5, "tags": ["a", "b"], "deep": {"x": None}}
+        legacy = __import__("hashlib").sha256(
+            json.dumps(spec, sort_keys=True, default=str).encode()
+        ).hexdigest()[:20]
+        assert cache_key(spec) == legacy
+
+    def test_numpy_scalars_match_python_values(self):
+        assert cache_key({"r": np.float64(0.3)}) == cache_key({"r": 0.3})
+        assert cache_key({"n": np.int64(7)}) == cache_key({"n": 7})
+        assert cache_key({"f": np.bool_(True)}) == cache_key({"f": True})
+
+    def test_dtypes_canonicalised(self):
+        assert cache_key({"d": np.dtype(np.float32)}) == cache_key({"d": "float32"})
+        assert cache_key({"d": np.float32}) == cache_key({"d": "float32"})
+
+    def test_tuples_match_lists(self):
+        assert cache_key({"shape": (1, 28, 28)}) == cache_key({"shape": [1, 28, 28]})
+
+    def test_rejects_unserialisable_values(self):
+        # json.dumps(default=str) used to silently stringify these.
+        with pytest.raises(TypeError, match="not"):
+            cache_key({"x": object()})
+        with pytest.raises(TypeError):
+            cache_key({"x": np.zeros(3)})
+
+
+class TestWeightsFingerprint:
+    @staticmethod
+    def _network(arrays):
+        params = [SimpleNamespace(data=np.asarray(a)) for a in arrays]
+        return SimpleNamespace(parameters=lambda: params)
+
+    def test_deterministic(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        assert weights_fingerprint(self._network([arr])) == weights_fingerprint(
+            self._network([arr.copy()])
+        )
+
+    def test_shape_mixed_into_digest(self):
+        # Same byte stream, different split: hashing concatenated bytes
+        # alone made these collide.
+        arr = np.arange(12.0)
+        a = self._network([arr.reshape(2, 6)])
+        b = self._network([arr.reshape(3, 4)])
+        assert weights_fingerprint(a) != weights_fingerprint(b)
+
+    def test_parameter_split_mixed_into_digest(self):
+        arr = np.arange(8.0)
+        a = self._network([arr[:4], arr[4:]])
+        b = self._network([arr[:6], arr[6:]])
+        assert weights_fingerprint(a) != weights_fingerprint(b)
+
+    def test_storage_dtype_mixed_into_digest(self):
+        values = np.arange(4.0)
+        a = self._network([values.astype(np.float32)])
+        b = self._network([values.astype(np.float64)])
+        assert weights_fingerprint(a) != weights_fingerprint(b)
 
 
 class TestMemoizeArrays:
@@ -93,8 +157,8 @@ class TestCorruptArchives:
         memoize_arrays({"kind": "tidy"}, lambda: {"x": np.zeros(1)})
         assert not list(isolated_cache.glob("*.tmp-*"))
 
-    def test_tmp_name_is_pid_unique(self, isolated_cache, monkeypatch):
-        """Concurrent processes must not share a temp file name."""
+    def test_tmp_name_unique_per_writer(self, isolated_cache, monkeypatch):
+        """Concurrent processes AND threads must not share a temp name."""
         import os as _os
 
         import repro.cache as cache_module
@@ -107,5 +171,72 @@ class TestCorruptArchives:
             return real_replace(src, dst)
 
         monkeypatch.setattr(cache_module.os, "replace", spy)
-        memoize_arrays({"kind": "pid"}, lambda: {"x": np.zeros(1)})
-        assert seen and f".tmp-{_os.getpid()}.npz" in seen[0]
+        for _ in range(2):
+            memoize_arrays({"kind": "pid"}, lambda: {"x": np.zeros(1)})
+            # Wipe the entry so the second call writes again.
+            for path in isolated_cache.glob("pid-*.npz"):
+                path.unlink()
+        assert len(seen) == 2
+        # pid keeps cross-process uniqueness; the uuid suffix separates
+        # same-process writers (two threads share one pid).
+        assert all(f".tmp-{_os.getpid()}-" in name for name in seen)
+        assert seen[0] != seen[1]
+
+
+class TestConcurrency:
+    def test_parallel_writers_on_one_key(self, isolated_cache):
+        """Racing writers must each succeed and leave one valid archive."""
+        import threading
+
+        spec = {"kind": "race"}
+        barrier = threading.Barrier(4, timeout=10)
+        errors = []
+
+        def worker(value):
+            try:
+                barrier.wait()
+                memoize_arrays(spec, lambda: {"x": np.full(3, float(value))})
+            except Exception as exc:  # pragma: no cover - the failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert not list(isolated_cache.glob("*.tmp-*"))
+        final = memoize_arrays(spec, lambda: pytest.fail("archive must be valid"))
+        assert final["x"].shape == (3,)
+        assert float(final["x"][0]) in {0.0, 1.0, 2.0, 3.0}
+
+    def test_reader_ignores_mid_write_tmp_file(self, isolated_cache):
+        """A partially written ``.tmp-*`` from another writer is invisible."""
+        spec = {"kind": "midwrite"}
+        # Fabricate what a mid-write crash (or in-flight writer) leaves on
+        # disk: a tmp file full of garbage next to where the entry goes.
+        (isolated_cache / f"midwrite-{cache_key(spec)}.tmp-999-deadbeef.npz").write_bytes(
+            b"partial zip bytes"
+        )
+        arrays = memoize_arrays(spec, lambda: {"x": np.arange(4.0)})
+        np.testing.assert_array_equal(arrays["x"], np.arange(4.0))
+        again = memoize_arrays(spec, lambda: pytest.fail("must not rebuild"))
+        np.testing.assert_array_equal(again["x"], np.arange(4.0))
+
+    def test_build_raises_after_corrupt_unlink(self, isolated_cache):
+        """A failing rebuild must not resurrect the corrupt archive."""
+        spec = {"kind": "failbuild"}
+        memoize_arrays(spec, lambda: {"x": np.zeros(2)})
+        files = list(isolated_cache.glob("failbuild-*.npz"))
+        assert len(files) == 1
+        files[0].write_bytes(b"corrupt")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            memoize_arrays(spec, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        # The corrupt archive is gone (not half-trusted on the next read)
+        # and no tmp debris remains.
+        assert not list(isolated_cache.glob("failbuild-*.npz"))
+        assert not list(isolated_cache.glob("*.tmp-*"))
+
+        rebuilt = memoize_arrays(spec, lambda: {"x": np.ones(2)})
+        np.testing.assert_array_equal(rebuilt["x"], np.ones(2))

@@ -1,0 +1,140 @@
+"""Regression tests for every divergence the differential verifier found.
+
+Each class pins one fixed bug; each test fails on the pre-fix code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    Flatten,
+    GradientEngine,
+    InferenceEngine,
+    Network,
+    Sigmoid,
+    Tensor,
+    TrainingEngine,
+    ops,
+)
+from repro.nn.ops import stable_sigmoid
+from repro.nn.tensor import no_grad
+
+
+def _saturating_net(seed=0):
+    """Dense→Sigmoid stack whose pre-activations reach ±10⁴ (exp overflow)."""
+    rng = np.random.default_rng(seed)
+    net = Network([Flatten(), Dense(4, 3, rng), Sigmoid(), Dense(3, 3, rng)], (1, 2, 2))
+    weight = net.layers[1].params["weight"]
+    weight.data = -np.abs(weight.data) * 100
+    return net
+
+
+class TestSigmoidOverflow:
+    """exp(-x) overflowed for strongly negative inputs in all four paths."""
+
+    def test_stable_sigmoid_saturates_without_overflow(self):
+        with np.errstate(over="raise"):
+            out = stable_sigmoid(np.array([-800.0, -90.0, 0.0, 90.0, 800.0]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[[0, 2, 4]], [0.0, 0.5, 1.0])
+
+    def test_stable_sigmoid_float32(self):
+        x = np.array([-120.0, 120.0], dtype=np.float32)
+        with np.errstate(over="raise"):
+            out = stable_sigmoid(x)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_autograd_sigmoid_op(self):
+        with np.errstate(over="raise"), no_grad():
+            out = ops.sigmoid(Tensor(np.array([[-800.0, 800.0]])))
+        np.testing.assert_allclose(out.data, [[0.0, 1.0]])
+
+    def test_matches_naive_form_in_safe_range(self):
+        x = np.linspace(-20, 20, 101)
+        np.testing.assert_array_equal(stable_sigmoid(x)[x >= 0], (1.0 / (1.0 + np.exp(-x)))[x >= 0])
+        np.testing.assert_allclose(stable_sigmoid(x), 1.0 / (1.0 + np.exp(-x)), rtol=1e-15)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_all_engines_saturated(self, dtype):
+        net = _saturating_net()
+        x = np.full((2, 1, 2, 2), 120.0)
+        with no_grad():
+            ref = net.forward(Tensor(x)).data
+        with np.errstate(over="raise"):
+            out = InferenceEngine(net, dtype=dtype).logits(x, memo=False)
+            grad_logits, _ = GradientEngine(net, dtype=dtype).forward(x)
+            TrainingEngine(net, dtype=dtype).train_batch(x, np.array([0, 1]))
+        assert np.abs(out - ref).max() < 1e-4
+        assert np.abs(grad_logits - ref).max() < 1e-4
+
+
+class TestEmptyBatch:
+    """reshape((0, -1)) is ambiguous to NumPy; loss means nan-propagate."""
+
+    def _net(self):
+        return Network([Flatten(), Dense(9, 5, np.random.default_rng(0))], (1, 3, 3))
+
+    def test_autograd_flatten(self):
+        net = self._net()
+        with no_grad():
+            out = net.forward(Tensor(np.zeros((0, 1, 3, 3)))).data
+        assert out.shape == (0, 5)
+
+    def test_inference_engine(self):
+        out = InferenceEngine(self._net()).logits(np.zeros((0, 1, 3, 3)))
+        assert out.shape == (0, 5)
+
+    def test_gradient_engine(self):
+        net = self._net()
+        grad = GradientEngine(net).cross_entropy_input_grad(
+            np.zeros((0, 1, 3, 3)), np.zeros(0, dtype=int)
+        )
+        assert grad.shape == (0, 1, 3, 3)
+
+    def test_training_engine_no_nan_no_grads(self):
+        net = self._net()
+        value, logits = TrainingEngine(net).train_batch(
+            np.zeros((0, 1, 3, 3)), np.zeros(0, dtype=int)
+        )
+        assert value == 0.0
+        assert logits.shape == (0, 5)
+        # No examples → no gradient contribution, not a zero-filled one.
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestMemoAliasing:
+    """The memo could freeze the caller's array and serve rewritable views."""
+
+    def _identity_net(self):
+        # Dropout is an inference-time identity, so the kernel stack hands
+        # back whatever aliasing the layer kernels produce.
+        return Network([Dropout(0.5, np.random.default_rng(0))], (3,))
+
+    def test_caller_array_stays_writable(self):
+        net = self._identity_net()
+        x = np.zeros((2, 3), dtype=np.float32)
+        engine = InferenceEngine(net, dtype=np.float32)
+        engine.logits(x)  # memo on: used to freeze x itself
+        x[0, 0] = 1.0  # must not raise ValueError (read-only array)
+
+    def test_memoised_result_not_rewritten_by_input_edits(self):
+        net = self._identity_net()
+        engine = InferenceEngine(net, dtype=np.float32)
+        x = np.zeros((2, 3), dtype=np.float32)
+        first = engine.logits(x).copy()
+        x[:] = 7.0  # in-place edit of the caller's buffer
+        key_x = np.zeros((2, 3), dtype=np.float32)
+        again = engine.logits(key_x)  # same digest as the first call
+        np.testing.assert_array_equal(first, again)
+
+    def test_memoised_result_is_read_only_copy(self):
+        net = self._identity_net()
+        engine = InferenceEngine(net, dtype=np.float32)
+        x = np.zeros((2, 3), dtype=np.float32)
+        out = engine.logits(x)
+        assert out is not x
+        assert not out.flags.writeable
+        assert not np.shares_memory(out, x)
