@@ -12,7 +12,14 @@ from repro.eval import format_table45, table45_robustness
 
 def test_table4_mnist_attack_success(benchmark, mnist_ctx):
     rows = benchmark.pedantic(table45_robustness, args=(mnist_ctx,), rounds=1, iterations=1)
-    report("Table 4 (MNIST substitute)", format_table45(rows, mnist_ctx.dataset.name))
+    report("Table 4 (MNIST substitute)", format_table45(rows, mnist_ctx.dataset.name, coverage=True))
+
+    # A benchmark number from a partially-covered run is not comparable:
+    # every planned work unit must have completed.
+    for defense, cells in rows.items():
+        for attack, cell in cells.items():
+            ok, total = cell["coverage"]
+            assert ok == total, (defense, attack, cell["coverage"])
 
     for attack in ("cw-l0", "cw-l2", "cw-linf"):
         for mode in ("targeted", "untargeted"):

@@ -17,7 +17,12 @@ from repro.eval import format_table45, table45_robustness
 
 def test_table5_cifar_attack_success(benchmark, cifar_ctx):
     rows = benchmark.pedantic(table45_robustness, args=(cifar_ctx,), rounds=1, iterations=1)
-    report("Table 5 (CIFAR substitute)", format_table45(rows, cifar_ctx.dataset.name))
+    report("Table 5 (CIFAR substitute)", format_table45(rows, cifar_ctx.dataset.name, coverage=True))
+
+    # Benchmark numbers require a fully-covered run (no failed work units).
+    for defense, cells in rows.items():
+        for attack, cell in cells.items():
+            assert cell["coverage"][0] == cell["coverage"][1], (defense, attack)
 
     for attack in ("cw-l0", "cw-l2", "cw-linf"):
         for mode in ("targeted", "untargeted"):

@@ -23,6 +23,9 @@ python -m pytest -x -q -W error tests/nn tests/verify
 echo "== verify smoke (cross-engine differential) =="
 REPRO_VERIFY=1 python -m repro verify --seed 0 --cases 6
 
+echo "== runner smoke (kill mid-flight, resume, diff vs clean) =="
+python scripts/runner_smoke.py
+
 echo "== gradient-engine benchmark (smoke) =="
 python benchmarks/bench_grad_throughput.py --smoke > /dev/null
 echo "ok"

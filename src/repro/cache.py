@@ -5,12 +5,17 @@ so datasets, model weights and adversarial-example pools are cached under
 ``$REPRO_CACHE`` (default ``<repo>/.artifacts``) keyed by a SHA-256 of their
 construction parameters.  Deleting the directory forces regeneration.
 
-A corrupt archive (truncated write, interrupted run, bad disk) is treated
-as a cache *miss*: the bad file is deleted and the artifact rebuilt, so a
-damaged cache can never wedge the test or benchmark suites.  Writes go
-through a per-process temporary file followed by an atomic ``os.replace``,
-so concurrent runs sharing a cache directory cannot clobber each other's
-partial writes.
+Every entry embeds a content checksum (under the reserved ``__checksum__``
+key) computed over its arrays' names, shapes, dtypes and bytes.  A corrupt
+archive — truncated write, unreadable zip, or a checksum mismatch from bit
+rot — is treated as a cache *miss*: the damaged file is **quarantined**
+(renamed to ``<name>.corrupt`` for post-mortems, never silently destroyed),
+the event is reported to any registered corruption listeners (the resilient
+runner journals it to its failure ledger), and the artifact is rebuilt.
+Entries written before checksums existed carry no ``__checksum__`` key and
+load unchanged.  Writes go through a per-process temporary file followed by
+an atomic ``os.replace``, so concurrent runs sharing a cache directory
+cannot clobber each other's partial writes.
 """
 
 from __future__ import annotations
@@ -25,7 +30,34 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["cache_dir", "cache_key", "memoize_arrays", "weights_fingerprint"]
+__all__ = [
+    "cache_dir",
+    "cache_key",
+    "memoize_arrays",
+    "weights_fingerprint",
+    "add_corruption_listener",
+    "remove_corruption_listener",
+]
+
+CHECKSUM_KEY = "__checksum__"
+
+# Callbacks invoked as cb(path, reason) when an entry is quarantined;
+# the resilient runner registers one to journal cache corruption.
+_corruption_listeners: list[Callable[[Path, str], None]] = []
+
+
+def add_corruption_listener(listener: Callable[[Path, str], None]) -> Callable[[Path, str], None]:
+    """Register a ``(quarantined_path, reason)`` callback; returns it."""
+    _corruption_listeners.append(listener)
+    return listener
+
+
+def remove_corruption_listener(listener: Callable[[Path, str], None]) -> None:
+    """Unregister a corruption listener (missing listeners are ignored)."""
+    try:
+        _corruption_listeners.remove(listener)
+    except ValueError:
+        pass
 
 
 def cache_dir() -> Path:
@@ -103,17 +135,61 @@ def weights_fingerprint(network) -> str:
     return digest.hexdigest()[:16]
 
 
+def _content_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the arrays' names, shapes, dtypes and bytes.
+
+    Iterated in sorted name order so the digest is independent of dict
+    insertion order; shape and dtype are mixed in so two entries whose
+    concatenated bytes happen to coincide still get distinct digests.
+    """
+    digest = hashlib.sha256(b"cache-content-v1")
+    for name in sorted(arrays):
+        if name == CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(repr((name, arr.shape, str(arr.dtype))).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a damaged entry aside as ``<name>.corrupt`` and notify listeners.
+
+    The bad bytes are preserved for post-mortems instead of silently
+    deleted; the quarantined name no longer matches ``*.npz`` so every
+    lookup treats the slot as a clean miss.
+    """
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:
+        # A concurrent process already moved or removed it; nothing to keep.
+        path.unlink(missing_ok=True)
+    for listener in list(_corruption_listeners):
+        listener(target, reason)
+
+
 def _load_arrays(path: Path) -> dict[str, np.ndarray] | None:
-    """Load an ``.npz`` archive, returning ``None`` if it is unusable."""
+    """Load and verify an ``.npz`` entry; quarantine and return ``None`` if bad.
+
+    Entries written before checksums existed carry no ``__checksum__`` key
+    and are served as-is; checksummed entries are re-digested on every load.
+    """
     try:
         # Own the handle: np.load(path) opens the file itself, and when the
         # zip header is corrupt it raises *before* the context manager could
         # take ownership, leaking the descriptor to the GC.
         with open(path, "rb") as handle:
             with np.load(handle) as archive:
-                return {key: archive[key] for key in archive.files}
-    except (zipfile.BadZipFile, OSError, KeyError, ValueError, EOFError):
+                arrays = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, OSError, KeyError, ValueError, EOFError) as exc:
+        _quarantine(path, f"unreadable archive: {type(exc).__name__}: {exc}")
         return None
+    recorded = arrays.pop(CHECKSUM_KEY, None)
+    if recorded is not None and str(recorded) != _content_checksum(arrays):
+        _quarantine(path, "content checksum mismatch")
+        return None
+    return arrays
 
 
 def memoize_arrays(spec: dict, build: Callable[[], dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
@@ -128,15 +204,16 @@ def memoize_arrays(spec: dict, build: Callable[[], dict[str, np.ndarray]]) -> di
         arrays = _load_arrays(path)
         if arrays is not None:
             return arrays
-        # Corrupt or truncated archive: discard and rebuild below.
-        path.unlink(missing_ok=True)
+        # Corrupt entry: _load_arrays quarantined it; rebuild below.
     arrays = build()
+    if CHECKSUM_KEY in arrays:
+        raise ValueError(f"array name {CHECKSUM_KEY!r} is reserved for the content checksum")
     # pid alone is not unique: two threads of one process racing on the
     # same key would write the same tmp file and clobber each other before
     # either os.replace lands.  A uuid suffix gives every writer its own.
     tmp = path.with_suffix(f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.npz")
     try:
-        np.savez_compressed(tmp, **arrays)
+        np.savez_compressed(tmp, **arrays, **{CHECKSUM_KEY: _content_checksum(arrays)})
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)

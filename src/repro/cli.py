@@ -9,6 +9,8 @@ Commands
 * ``evaluate`` — the paper's defense comparison on one dataset.
 * ``table`` — regenerate a paper table (2, 3, 4, 5 or 6).
 * ``figure`` — regenerate a paper figure (1 or 4).
+* ``run`` — journaled, resumable experiment run (``--resume`` replays the
+  ledger, so a killed run picks up at the first unfinished work unit).
 * ``verify`` — differential verification of the fused engines vs autograd.
 
 All heavy artifacts go through the ``.artifacts`` cache, so repeated
@@ -53,6 +55,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("which", type=int, choices=(1, 4))
+
+    run = sub.add_parser("run", help="journaled, resumable experiment run")
+    run.add_argument(
+        "--only",
+        action="append",
+        choices=("table2", "table3", "table45", "table6", "fig4"),
+        help="restrict to specific experiments (repeatable; default: all)",
+    )
+    run.add_argument("--dataset", default=None, help="defaults to the scale's MNIST substitute")
+    run.add_argument("--ledger", default=None, help="ledger path (default .artifacts/run-<scale>.jsonl)")
+    run.add_argument("--resume", action="store_true", help="replay the ledger instead of starting fresh")
+    run.add_argument("--chunk", type=int, default=6, help="benign seeds per table 4/5 eval unit")
+    run.add_argument("--retry-failed", action="store_true", help="re-execute ledgered failed units")
 
     rep = sub.add_parser("report", help="run all experiments, emit a markdown report")
     rep.add_argument("--output", default=None, help="write to a file instead of stdout")
@@ -206,6 +221,67 @@ def _cmd_figure(which: int) -> int:
     return 0
 
 
+def _cmd_run(
+    only: list[str] | None,
+    dataset_name: str | None,
+    ledger: str | None,
+    resume: bool,
+    chunk: int,
+    retry_failed: bool,
+) -> int:
+    from .cache import cache_dir
+    from .eval import build_context, format_fig4, format_table2, format_table3, format_table45, format_table6, scale_config
+    from .runner import Runner
+    from .runner import experiments as plans
+
+    scale = scale_config()
+    ctx = build_context(dataset_name or scale.mnist, scale)
+    ledger_path = ledger or str(cache_dir() / f"run-{scale.name}.jsonl")
+    runner = Runner(ledger=ledger_path, resume=resume)
+    chosen = only or ["table2", "table3", "table45", "table6", "fig4"]
+
+    planners = {
+        "table2": lambda: plans.plan_table2(ctx),
+        "table3": lambda: plans.plan_table3(ctx),
+        "table45": lambda: plans.plan_table45(ctx, chunk_seeds=chunk),
+        "table6": lambda: plans.plan_table6(ctx),
+        "fig4": lambda: plans.plan_fig4(ctx),
+    }
+    units = [unit for name in chosen for unit in planners[name]()]
+    try:
+        result = runner.run(units, retry_failed=retry_failed)
+    except KeyboardInterrupt:
+        print(f"\ninterrupted; completed units are journaled in {ledger_path}")
+        print("re-run with --resume to continue from the first unfinished unit")
+        return 130
+
+    by_exp = {name: [u for u in units if u.experiment == name] for name in chosen}
+    if "table2" in by_exp:
+        rates = plans.assemble_table2(result, by_exp["table2"])
+        print(format_table2({ctx.dataset.name: rates}) + "\n")
+    if "table3" in by_exp:
+        rows = plans.assemble_table3(result, by_exp["table3"])
+        print(format_table3({ctx.dataset.name: rows}) + "\n")
+    if "table45" in by_exp:
+        rows = plans.assemble_table45(result, by_exp["table45"])
+        print(format_table45(rows, ctx.dataset.name, coverage=True) + "\n")
+    if "table6" in by_exp:
+        rows = plans.assemble_table6(result, by_exp["table6"])
+        print(format_table6(rows, ctx.dataset.name) + "\n")
+    if "fig4" in by_exp:
+        rows = plans.assemble_fig4(result, by_exp["fig4"])
+        print(format_fig4(rows, ctx.dataset.name) + "\n")
+
+    print(
+        f"run: {len(result.executed)} executed, {len(result.replayed)} replayed, "
+        f"{len(result.failed)} failed (ledger: {ledger_path})"
+    )
+    for key in result.failed:
+        failure = (result.records[key].get("failure") or {})
+        print(f"  FAILED {key}: {failure.get('error', '?')}: {failure.get('message', '')}")
+    return 0 if result.ok else 1
+
+
 def _cmd_report(output: str | None, light: bool) -> int:
     from .eval.reportgen import generate_report
 
@@ -246,6 +322,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table(args.which)
     if args.command == "figure":
         return _cmd_figure(args.which)
+    if args.command == "run":
+        return _cmd_run(
+            args.only, args.dataset, args.ledger, args.resume, args.chunk, args.retry_failed
+        )
     if args.command == "report":
         return _cmd_report(args.output, args.light)
     if args.command == "verify":

@@ -15,21 +15,15 @@ which preset produced the reported numbers.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass
 from functools import cached_property
 
-import numpy as np
-
-from ..attacks.base import AttackResult
 from ..core import DCN, Corrector, select_radius, train_detector
 from ..datasets import Dataset, load_dataset
 from ..defenses import DistilledClassifier, RegionClassifier, StandardClassifier, train_distilled
 from ..nn.network import Network
 from ..zoo import load_model, _DATASET_MODEL
-from .adversarial_sets import TargetedPool, build_targeted_pool, untargeted_from_pool
-from .metrics import attack_success_rate
-from .timing import profile_defense, time_defense
+from .adversarial_sets import TargetedPool, build_targeted_pool
 
 __all__ = [
     "ScaleConfig",
@@ -172,12 +166,38 @@ def build_context(dataset_name: str, scale: ScaleConfig | None = None, cache: bo
 
 
 # ---------------------------------------------------------------------------
+# Routing through the resilient runner
+# ---------------------------------------------------------------------------
+#
+# Every table/figure below executes as a plan of addressable work units
+# (repro.runner.experiments) under a Runner: pass ``runner=`` to journal
+# the run to a ledger and make it resumable; the default is an ephemeral
+# in-memory Runner, which still gets fault isolation (a failed unit is a
+# coverage hole, not a dead run) with byte-identical results.
+
+
+def _run_plan(runner, units):
+    """Execute a unit plan on ``runner`` (or an ephemeral one)."""
+    from ..runner import Runner
+
+    return (runner or Runner()).run(units)
+
+
+# ---------------------------------------------------------------------------
 # Table 2 — detector false rates
 # ---------------------------------------------------------------------------
 
 
-def table2_detector_rates(ctx: ExperimentContext, seed: int = 202) -> dict[str, float]:
-    """Held-out false-negative/false-positive rates of the detector.
+def table2_detector_rates(ctx: ExperimentContext, seed: int = 202, runner=None) -> dict[str, float]:
+    """Held-out false-negative/false-positive rates of the detector."""
+    from ..runner import experiments as plans
+
+    units = plans.plan_table2(ctx, seed=seed)
+    return plans.assemble_table2(_run_plan(runner, units), units)
+
+
+def _table2_compute(ctx: ExperimentContext, seed: int = 202) -> dict[str, float]:
+    """The single-unit body of Table 2.
 
     Uses a fresh pool of benign seeds (disjoint from detector training) and
     their CW-L2 adversarial examples, exactly as Sec. 5.2 describes.
@@ -203,17 +223,18 @@ def table2_detector_rates(ctx: ExperimentContext, seed: int = 202) -> dict[str, 
 # ---------------------------------------------------------------------------
 
 
-def table3_benign_performance(ctx: ExperimentContext, count: int | None = None, seed: int = 303) -> dict[str, dict[str, float]]:
-    """Accuracy and wall-clock of each defense on a benign sample."""
-    if count is None:
-        count = ctx.scale.benign_mnist if "mnist" in ctx.dataset.name else ctx.scale.benign_cifar
-    rng = np.random.default_rng(seed)
-    x, y, _ = ctx.dataset.sample_test(count, rng)
-    rows: dict[str, dict[str, float]] = {}
-    for name, defense in ctx.defenses().items():
-        labels, seconds = time_defense(defense, x)
-        rows[name] = {"accuracy": float((labels == y).mean()), "seconds": seconds}
-    return rows
+def table3_benign_performance(
+    ctx: ExperimentContext, count: int | None = None, seed: int = 303, runner=None
+) -> dict[str, dict[str, float]]:
+    """Accuracy and wall-clock of each defense on a benign sample.
+
+    One work unit per defense, each scoring the identical ``seed``-derived
+    sample — the same inputs (and numbers) as a single sequential loop.
+    """
+    from ..runner import experiments as plans
+
+    units = plans.plan_table3(ctx, count=count, seed=seed)
+    return plans.assemble_table3(_run_plan(runner, units), units)
 
 
 # ---------------------------------------------------------------------------
@@ -222,7 +243,11 @@ def table3_benign_performance(ctx: ExperimentContext, count: int | None = None, 
 
 
 def table45_robustness(
-    ctx: ExperimentContext, attacks: tuple[str, ...] = CW_ATTACKS, seed: int = 202
+    ctx: ExperimentContext,
+    attacks: tuple[str, ...] = CW_ATTACKS,
+    seed: int = 202,
+    runner=None,
+    chunk_seeds: int = 6,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Success rate of each attack × defense, targeted and untargeted.
 
@@ -230,26 +255,20 @@ def table45_robustness(
     standard model's pools serve standard/RC/DCN (whose protected model is
     the standard DNN), while distillation gets its own pools.
 
-    Returns ``rows[defense][attack] = {"targeted": .., "untargeted": ..}``.
+    Executes as setup/craft/eval work units — eval chunked ``chunk_seeds``
+    benign seeds at a time, so a journaled run can be killed and resumed at
+    any unit boundary.  The chunked classification is canonical: the
+    stochastic defenses' noise is a pure function of (seed, batch digest),
+    so per-chunk labels — unlike whole-batch ones — are reproducible
+    regardless of which chunks already ran.
+
+    Returns ``rows[defense][attack]`` dicts with ``targeted``/``untargeted``
+    rates plus ``coverage = (ok_chunks, total_chunks)`` for that cell.
     """
-    rows: dict[str, dict[str, dict[str, float]]] = {}
-    for defense_name, defense in ctx.defenses().items():
-        rows[defense_name] = {}
-        for attack_name in attacks:
-            if defense_name == "distillation":
-                pool = ctx.pool(attack_name, network=defense.network, model_tag="distilled", seed=seed)
-            else:
-                pool = ctx.pool(attack_name, seed=seed)
-            targeted_result = AttackResult(
-                pool.tiled_seeds, pool.adversarial, pool.success, pool.tiled_labels, pool.targets
-            )
-            metric = {"cw-l0": "l0", "cw-l2": "l2", "cw-linf": "linf"}.get(attack_name, "l2")
-            untargeted_result = untargeted_from_pool(pool, metric)
-            rows[defense_name][attack_name] = {
-                "targeted": attack_success_rate(defense, targeted_result),
-                "untargeted": attack_success_rate(defense, untargeted_result),
-            }
-    return rows
+    from ..runner import experiments as plans
+
+    units = plans.plan_table45(ctx, attacks=attacks, seed=seed, chunk_seeds=chunk_seeds)
+    return plans.assemble_table45(_run_plan(runner, units), units, attacks=attacks)
 
 
 # ---------------------------------------------------------------------------
@@ -262,6 +281,7 @@ def table6_runtime_vs_fraction(
     fractions: tuple[float, ...] = (0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0),
     total: int = 100,
     seed: int = 404,
+    runner=None,
 ) -> list[dict[str, float]]:
     """DCN vs RC runtime on mixes with varying adversarial fraction.
 
@@ -273,38 +293,15 @@ def table6_runtime_vs_fraction(
     counters) ride along too: both defenses classify without gradients, so
     nonzero backwards would flag a defense quietly differentiating through
     the protected model.
+
+    One work unit per fraction, each drawing its mix from a per-fraction
+    RNG stream (``default_rng([seed, index])``) so a resumed run mixes the
+    same examples an uninterrupted one would.
     """
-    pool = ctx.pool("cw-l2")
-    adv_images, adv_labels, _ = pool.successful()
-    engine = ctx.model.engine
-    grad_engine = ctx.model.grad_engine
-    rng = np.random.default_rng(seed)
-    rows = []
-    for fraction in fractions:
-        adv_count = int(round(total * fraction))
-        benign_count = total - adv_count
-        x_benign, y_benign, _ = ctx.dataset.sample_test(benign_count, rng)
-        pick = rng.integers(0, len(adv_images), size=adv_count)
-        x = np.concatenate([x_benign, adv_images[pick]])
-        y = np.concatenate([y_benign, adv_labels[pick]])
-        order = rng.permutation(total)
-        x, y = x[order], y[order]
-        dcn = profile_defense(ctx.dcn, x, engine, grad_engine=grad_engine)
-        rc = profile_defense(ctx.rc, x, engine, grad_engine=grad_engine)
-        rows.append(
-            {
-                "fraction": fraction,
-                "dcn_seconds": dcn.seconds,
-                "rc_seconds": rc.seconds,
-                "dcn_accuracy": float((dcn.labels == y).mean()),
-                "rc_accuracy": float((rc.labels == y).mean()),
-                "dcn_forward_examples": dcn.forward_examples,
-                "rc_forward_examples": rc.forward_examples,
-                "dcn_backward_examples": dcn.backward_examples,
-                "rc_backward_examples": rc.backward_examples,
-            }
-        )
-    return rows
+    from ..runner import experiments as plans
+
+    units = plans.plan_table6(ctx, fractions=fractions, total=total, seed=seed)
+    return plans.assemble_table6(_run_plan(runner, units), units)
 
 
 # ---------------------------------------------------------------------------
@@ -316,21 +313,14 @@ def fig4_corrector_sweep(
     ctx: ExperimentContext,
     sample_counts: tuple[int, ...] = (10, 25, 50, 100, 250, 500, 1000),
     seed: int = 505,
+    runner=None,
 ) -> list[dict[str, float]]:
-    """Recovery accuracy and runtime of the corrector as ``m`` varies."""
-    pool = ctx.pool("cw-l2")
-    adv_images, adv_labels, _ = pool.successful()
-    rows = []
-    for m in sample_counts:
-        corrector = Corrector(ctx.model, radius=ctx.radius, samples=m, seed=seed)
-        start = time.perf_counter()
-        labels = corrector.correct(adv_images)
-        seconds = time.perf_counter() - start
-        rows.append(
-            {
-                "m": m,
-                "recovery_accuracy": float((labels == adv_labels).mean()),
-                "seconds": seconds,
-            }
-        )
-    return rows
+    """Recovery accuracy and runtime of the corrector as ``m`` varies.
+
+    One work unit per sample count ``m`` (each builds its own seeded
+    corrector, so the units are independent and individually resumable).
+    """
+    from ..runner import experiments as plans
+
+    units = plans.plan_fig4(ctx, sample_counts=sample_counts, seed=seed)
+    return plans.assemble_fig4(_run_plan(runner, units), units)

@@ -8,7 +8,8 @@ paper-vs-measured columns — the automated counterpart of EXPERIMENTS.md.
 from __future__ import annotations
 
 import io
-import time
+
+from .timing import monotonic
 
 from .harness import (
     ScaleConfig,
@@ -122,7 +123,9 @@ def generate_report(
     for smoke tests); the full run also produces Tables 3-6.
     """
     scale = scale or scale_config()
-    start = time.time()
+    # perf_counter, not time.time(): a wall-clock step (NTP) mid-report
+    # would make the elapsed figure wrong or negative.
+    start = monotonic()
     out = io.StringIO()
     out.write("# DCN reproduction report\n\n")
     out.write(f"Scale preset: `{scale.name}`; datasets `{scale.mnist}`, `{scale.cifar}`.\n\n")
@@ -138,6 +141,6 @@ def generate_report(
         _write_table45(out, "table5", table45_robustness(cifar_ctx))
         _write_table6(out, table6_runtime_vs_fraction(mnist_ctx))
 
-    elapsed = time.time() - start
+    elapsed = monotonic() - start
     out.write(f"---\nGenerated in {elapsed:.0f}s.\n")
     return out.getvalue()

@@ -44,14 +44,26 @@ def format_table3(rows_by_dataset: dict[str, dict[str, dict[str, float]]]) -> st
     return "\n".join(lines)
 
 
-def format_table45(rows: dict[str, dict[str, dict[str, float]]], dataset: str) -> str:
-    """Tables 4/5: success rate of evasion attacks per defense."""
-    attacks = ("cw-l0", "cw-l2", "cw-linf")
+def format_table45(
+    rows: dict[str, dict[str, dict[str, float]]], dataset: str, coverage: bool = False
+) -> str:
+    """Tables 4/5: success rate of evasion attacks per defense.
+
+    With ``coverage=True`` each row gains a column summing the runner's
+    per-cell ``(n_ok, n_total)`` work-unit coverage — how much of the
+    planned evaluation actually completed (``ok/total`` below 100% means
+    some seed-chunks failed and their attempts are excluded from the rates).
+    """
+    attacks = tuple(
+        a for a in ("cw-l0", "cw-l2", "cw-linf") if any(a in cells for cells in rows.values())
+    )
     header = (
         f"{'':14}"
         + "".join(f"{'T-' + _ATTACK_LABELS[a]:>10}" for a in attacks)
         + "".join(f"{'U-' + _ATTACK_LABELS[a]:>10}" for a in attacks)
     )
+    if coverage:
+        header += f"{'coverage':>10}"
     lines = [f"SUCCESSFUL RATE OF EVASION ATTACKS ON {dataset.upper()}", header]
     for defense in ("standard", "distillation", "rc", "dcn"):
         if defense not in rows:
@@ -59,7 +71,12 @@ def format_table45(rows: dict[str, dict[str, dict[str, float]]], dataset: str) -
         cells = rows[defense]
         targeted = "".join(f"{_pct(cells[a]['targeted']):>10}" for a in attacks)
         untargeted = "".join(f"{_pct(cells[a]['untargeted']):>10}" for a in attacks)
-        lines.append(f"{_DEFENSE_LABELS[defense]:14}" + targeted + untargeted)
+        line = f"{_DEFENSE_LABELS[defense]:14}" + targeted + untargeted
+        if coverage:
+            ok = sum(cells[a].get("coverage", (0, 0))[0] for a in attacks if a in cells)
+            total = sum(cells[a].get("coverage", (0, 0))[1] for a in attacks if a in cells)
+            line += f"{f'{ok}/{total}':>10}"
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -21,25 +21,36 @@ from ..defenses.base import Defense
 from ..nn.engine import InferenceEngine, counter_delta
 from ..nn.grad_engine import GradientEngine
 
-__all__ = ["stopwatch", "time_defense", "DefenseProfile", "profile_defense"]
+__all__ = ["monotonic", "stopwatch", "time_defense", "DefenseProfile", "profile_defense"]
+
+
+def monotonic() -> float:
+    """The single monotonic clock every timing path reads.
+
+    ``time.time()`` can jump backwards under NTP slew, turning an elapsed
+    measurement negative mid-run; everything that measures durations —
+    report generation, defense timing, the resilient runner's unit budgets
+    and ledger timestamps — goes through this one helper instead.
+    """
+    return time.perf_counter()
 
 
 @contextmanager
 def stopwatch() -> Iterator[list[float]]:
     """Context manager yielding a single-element list filled with seconds."""
     holder = [0.0]
-    start = time.perf_counter()
+    start = monotonic()
     try:
         yield holder
     finally:
-        holder[0] = time.perf_counter() - start
+        holder[0] = monotonic() - start
 
 
 def time_defense(defense: Defense, x: np.ndarray) -> tuple[np.ndarray, float]:
     """Classify ``x`` and return ``(labels, elapsed_seconds)``."""
-    start = time.perf_counter()
+    start = monotonic()
     labels = defense.classify(x)
-    return labels, time.perf_counter() - start
+    return labels, monotonic() - start
 
 
 @dataclass
@@ -94,9 +105,9 @@ def profile_defense(
     """
     before = engine.counters.snapshot()
     grad_before = grad_engine.counters.snapshot() if grad_engine is not None else None
-    start = time.perf_counter()
+    start = monotonic()
     labels = defense.classify(x)
-    seconds = time.perf_counter() - start
+    seconds = monotonic() - start
     counters = counter_delta(before, engine.counters)
     if grad_engine is not None:
         grad_delta = counter_delta(grad_before, grad_engine.counters)

@@ -97,6 +97,10 @@ class InferenceEngine:
         Default batch plan; per-call ``batch_size`` overrides it.
     memo_entries:
         Capacity of the logits memo (LRU eviction).  ``0`` disables it.
+    native:
+        ``False`` skips kernel compilation entirely, forcing every batch
+        onto the float64 autograd fallback — the degradation ladder's
+        reference rung (see :mod:`repro.runner.policy`).
     """
 
     def __init__(
@@ -105,6 +109,7 @@ class InferenceEngine:
         dtype: np.dtype | type = np.float32,
         batch_size: int = DEFAULT_BATCH_SIZE,
         memo_entries: int = 64,
+        native: bool = True,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -124,7 +129,7 @@ class InferenceEngine:
         # (array ref, version) pairs backing the memo's validity: if any
         # parameter changes either way, every memoised result is stale.
         self._memo_param_refs: list[tuple[np.ndarray, int]] = []
-        self._kernels = self._compile()
+        self._kernels = self._compile() if native else None
 
     # -- public API -----------------------------------------------------------
 

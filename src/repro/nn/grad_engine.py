@@ -194,6 +194,10 @@ class GradientEngine:
     batch_size:
         Default batch plan of the public gradient methods; per-call
         ``batch_size`` overrides it.
+    native:
+        ``False`` skips kernel compilation, forcing every pass onto the
+        float64 autograd fallback — the degradation ladder's reference
+        rung (see :mod:`repro.runner.policy`).
     """
 
     def __init__(
@@ -201,6 +205,7 @@ class GradientEngine:
         network: "Network",
         dtype: np.dtype | type = np.float32,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        native: bool = True,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -211,7 +216,7 @@ class GradientEngine:
         # param-id -> (source array ref, version, cast copy); checked by
         # identity (rebinding) and version (in-place optimiser updates).
         self._casts: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
-        self._kernels = self._compile()
+        self._kernels = self._compile() if native else None
 
     # -- public API -----------------------------------------------------------
 

@@ -49,13 +49,20 @@ class TrainConfig:
 
 @dataclass
 class History:
-    """Per-epoch training metrics."""
+    """Per-epoch training metrics.
+
+    ``interrupted`` marks a history cut short by ``KeyboardInterrupt``:
+    :func:`fit` flushes the completed-epoch metrics, attaches the partial
+    history to the exception (``exc.partial_history``) and re-raises, so
+    an interrupted run exits cleanly without losing what it measured.
+    """
 
     loss: list[float] = field(default_factory=list)
     accuracy: list[float] = field(default_factory=list)
     val_accuracy: list[float] = field(default_factory=list)
     epoch_seconds: list[float] = field(default_factory=list)
     seconds: float = 0.0
+    interrupted: bool = False
 
 
 def _resolve_schedule(config: TrainConfig, base_lr: float) -> Callable[[int], float] | None:
@@ -69,8 +76,15 @@ def _resolve_schedule(config: TrainConfig, base_lr: float) -> Callable[[int], fl
 
 
 def _resolve_engine(network: Network, config: TrainConfig) -> TrainingEngine:
-    """The network's training engine, re-attached if the dtype differs."""
+    """The network's training engine, re-attached if the dtype differs.
+
+    An engine deliberately forced onto the autograd fallback (the
+    degradation ladder's reference rung) is kept as-is: replacing it would
+    silently revert the downgrade mid-recovery.
+    """
     engine = network.train_engine
+    if getattr(engine, "forced_fallback", False):
+        return engine
     if engine.dtype != np.dtype(config.dtype):
         engine = TrainingEngine(network, dtype=config.dtype)
         network.attach_train_engine(engine)
@@ -159,6 +173,14 @@ def fit(
         # legacy per-epoch multiplicative decay did.
         if schedule is not None and hasattr(optimizer, "lr"):
             optimizer.lr = schedule(config.epochs)
+    except KeyboardInterrupt as exc:
+        # Exit cleanly: flush what the completed epochs measured, hand the
+        # partial history to the caller via the exception, and re-raise so
+        # the interrupt still unwinds (the runner journals it).
+        history.seconds = time.perf_counter() - start
+        history.interrupted = True
+        exc.partial_history = history
+        raise
     finally:
         if bound is not None:
             bound.__exit__(None, None, None)

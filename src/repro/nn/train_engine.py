@@ -192,17 +192,24 @@ class TrainingEngine:
         Compute dtype of the fused kernels.  ``float32`` (default) roughly
         doubles BLAS throughput; ``float64`` tracks the autograd reference
         to ~1e-10.
+    native:
+        ``False`` skips kernel compilation, forcing every batch onto the
+        float64 autograd fallback — the degradation ladder's reference
+        rung (see :mod:`repro.runner.policy`).
     """
 
-    def __init__(self, network: "Network", dtype: np.dtype | type = np.float32):
+    def __init__(
+        self, network: "Network", dtype: np.dtype | type = np.float32, native: bool = True
+    ):
         self.network = network
         self.dtype = np.dtype(dtype)
+        self.forced_fallback = not native
         self.counters = TrainingCounters()
         # param-id -> (source array ref, version, cast copy).  When the
         # parameters are bound to the engine dtype the "cast" is the live
         # array itself, so optimiser updates need no copy at all.
         self._casts: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
-        self._kernels = self._compile()
+        self._kernels = self._compile() if native else None
 
     # -- public API -----------------------------------------------------------
 

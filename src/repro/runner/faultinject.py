@@ -1,0 +1,224 @@
+"""Deterministic chaos harness: seeded fault plans for the runner.
+
+The recovery paths of :mod:`repro.runner` are useless unless proven, and
+faults that only occur "sometimes" cannot anchor a test suite.  This module
+makes failure *reproducible*: a :class:`FaultPlan` is a pure function of a
+seed, and a :class:`FaultInjector` fires its faults at exact unit/attempt
+boundaries through the runner's two hook points.
+
+Fault kinds
+-----------
+``raise``
+    An :class:`InjectedError` raised inside the unit's attempt(s) — a
+    generic mid-unit exception.  ``attempts`` controls how many consecutive
+    attempts fail, so a plan can express both "retried to success" and
+    "exhausts the policy".
+``nan-grad``
+    The unit's primary network gets a poisoned gradient engine whose every
+    backward pass returns NaN.  With guards enforced this trips a
+    :class:`~repro.verify.guards.GuardViolation` at the engine boundary and
+    exercises the degradation ladder; with guards off the NaN propagates —
+    exactly the corruption the ladder exists to stop.  Degraded attempts
+    are not poisoned: the fault models the fused path failing while the
+    autograd reference stays sound.
+``corrupt-cache``
+    Garbage is written over one existing ``.npz`` cache entry (picked
+    deterministically), exercising checksum quarantine on the next load.
+``interrupt``
+    ``KeyboardInterrupt`` at a unit boundary — a simulated SIGINT.
+``crash``
+    :class:`SimulatedCrash` (a ``BaseException``) at a unit boundary — a
+    hard kill with no cleanup; only the ledger's crash-safety saves the run.
+``step-raise``
+    For synthetic units that call :meth:`FaultInjector.step` as a
+    cooperative checkpoint: raises when the global step counter hits
+    ``step`` — "raise at step N" inside a unit body.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..cache import cache_dir
+from ..nn.grad_engine import GradientEngine
+from ..verify import guards
+
+__all__ = [
+    "ALL_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedError",
+    "SimulatedCrash",
+]
+
+ALL_KINDS = ("raise", "nan-grad", "corrupt-cache", "interrupt", "crash")
+
+
+class InjectedError(RuntimeError):
+    """A deterministic fault injected by the chaos harness."""
+
+
+class SimulatedCrash(BaseException):
+    """A simulated hard kill (power loss, OOM-kill) between units.
+
+    Deliberately a ``BaseException``: nothing in the runner's recovery
+    machinery may catch it — recovery happens on the *next* run, from the
+    ledger alone.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection point in a plan."""
+
+    kind: str
+    unit_index: int  # ordinal among *executed* (non-replayed) units
+    attempts: int = 1  # for "raise"/"nan-grad": consecutive attempts poisoned
+    step: int = 0  # for "step-raise": global cooperative-step ordinal
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults — a pure function of its seed."""
+
+    faults: tuple[Fault, ...]
+    seed: int = 0
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        num_units: int,
+        kinds: Sequence[str] = ("raise",),
+        count: int = 1,
+        attempts: tuple[int, int] = (1, 2),
+    ) -> "FaultPlan":
+        """Sample ``count`` faults over ``num_units`` unit boundaries.
+
+        Same seed, same plan — plans can be named in test output and
+        replayed exactly.  ``attempts`` bounds (inclusive) how many
+        consecutive attempts a ``raise``/``nan-grad`` fault poisons.
+        """
+        for kind in kinds:
+            if kind not in ALL_KINDS + ("step-raise",):
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rng = np.random.default_rng(seed)
+        faults = []
+        for _ in range(count):
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            faults.append(
+                Fault(
+                    kind=kind,
+                    unit_index=int(rng.integers(0, max(1, num_units))),
+                    attempts=int(rng.integers(attempts[0], attempts[1] + 1)),
+                )
+            )
+        return cls(faults=tuple(faults), seed=seed)
+
+
+class _NaNGradientEngine(GradientEngine):
+    """A gradient engine whose backward passes are all-NaN (chaos fault).
+
+    The poison is injected *after* the real computation and then pushed
+    through the same guard the real engine uses, so with guards active the
+    trip happens exactly where a genuine kernel NaN would be trapped.
+    """
+
+    def backward(self, ctx: object, seed: np.ndarray) -> np.ndarray:
+        grad = super().backward(ctx, seed)
+        bad = np.full_like(grad, np.nan)
+        guards.check_finite("faultinject.nan_gradient", bad)
+        return bad
+
+
+class FaultInjector:
+    """Runner hook implementation firing a :class:`FaultPlan`.
+
+    ``fired`` records every fault that actually triggered, so tests can
+    assert the plan's coverage (a fault aimed past the end of a short run
+    simply never fires).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.fired: list[Fault] = []
+        self._steps = 0
+
+    # -- runner hooks ----------------------------------------------------------
+
+    def before_unit(self, unit, index: int) -> None:
+        """Unit-boundary faults: interrupt, crash, cache corruption."""
+        for fault in self.plan.faults:
+            if fault.unit_index != index:
+                continue
+            if fault.kind == "interrupt":
+                self.fired.append(fault)
+                raise KeyboardInterrupt(f"injected SIGINT before unit {unit.key}")
+            if fault.kind == "crash":
+                self.fired.append(fault)
+                raise SimulatedCrash(f"injected crash before unit {unit.key}")
+            if fault.kind == "corrupt-cache":
+                if self._corrupt_one_cache_entry():
+                    self.fired.append(fault)
+
+    @contextmanager
+    def attempt(self, unit, index: int, attempt: int, degraded: bool) -> Iterator[None]:
+        """In-unit faults for one attempt: ``raise`` and ``nan-grad``."""
+        poisons = []
+        for fault in self.plan.faults:
+            if fault.unit_index != index or attempt >= fault.attempts:
+                continue
+            if fault.kind == "raise":
+                self.fired.append(fault)
+                raise InjectedError(
+                    f"injected failure in unit {unit.key} (attempt {attempt})"
+                )
+            if fault.kind == "nan-grad" and not degraded:
+                networks = unit.resolve_networks()
+                if networks:
+                    poisons.append(fault)
+        if not poisons:
+            yield
+            return
+        network = unit.resolve_networks()[0]
+        original = network._grad_engine
+        network.attach_grad_engine(
+            _NaNGradientEngine(network, dtype=network.grad_engine.dtype)
+        )
+        self.fired.extend(poisons)
+        try:
+            yield
+        finally:
+            network._grad_engine = original
+
+    # -- cooperative checkpoint ------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the global step counter; fire any ``step-raise`` fault.
+
+        Synthetic test units call this between their internal stages to
+        give "raise at step N" an exact, replayable firing point.
+        """
+        self._steps += 1
+        for fault in self.plan.faults:
+            if fault.kind == "step-raise" and fault.step == self._steps:
+                self.fired.append(fault)
+                raise InjectedError(f"injected failure at step {self._steps}")
+
+    # -- internals -------------------------------------------------------------
+
+    def _corrupt_one_cache_entry(self) -> bool:
+        """Overwrite the head of one deterministic cache entry with garbage."""
+        entries = sorted(cache_dir().glob("*.npz"))
+        if not entries:
+            return False
+        rng = np.random.default_rng(self.plan.seed)
+        target = entries[int(rng.integers(0, len(entries)))]
+        with open(target, "r+b") as handle:
+            handle.write(b"\x00CHAOS\x00" * 4)
+        return True

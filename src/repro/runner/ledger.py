@@ -1,0 +1,157 @@
+"""Append-only, crash-safe JSONL ledger of completed work units.
+
+One line per record.  Two record kinds share the file:
+
+* ``{"kind": "unit", "key": ..., "status": "ok"|"failed", "payload": ...,
+  "attempts": n, "degraded": bool, "seconds": s, "failure": {...}|null}``
+  — a terminal unit outcome, replayed on resume.
+* ``{"kind": "event", "event": ...}`` — run lifecycle and failure-channel
+  events (``run-start``, ``interrupt``, ``cache-quarantine``, …).
+
+Crash safety
+------------
+Each record is written with a **single** ``os.write`` to an ``O_APPEND``
+file descriptor and (by default) ``fsync``\\ ed before the runner moves on,
+so every journaled unit survives a crash at any later instant.  The only
+window is a torn final line from a crash mid-write; :meth:`Ledger.replay`
+tolerates and counts those instead of failing.  Whole-file operations —
+truncating for a fresh run — go through a pid+uuid temporary file and an
+atomic ``os.replace``, exactly like the artifact cache, so a reader racing
+a reset never observes a half-written file.
+
+The ledger is a single-writer journal: two live processes appending to one
+path will interleave whole lines (O_APPEND guarantees that much) but the
+runner makes no attempt to merge their unit sets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Ledger", "LedgerState"]
+
+
+@dataclass
+class LedgerState:
+    """The replayable content of a ledger file."""
+
+    units: dict[str, dict] = field(default_factory=dict)  # key -> last unit record
+    events: list[dict] = field(default_factory=list)
+    torn_lines: int = 0
+
+    def completed(self) -> set[str]:
+        """Keys of units with a terminal record (ok or failed)."""
+        return set(self.units)
+
+    def succeeded(self) -> set[str]:
+        return {key for key, rec in self.units.items() if rec.get("status") == "ok"}
+
+
+class Ledger:
+    """Journal of unit outcomes at ``path`` (see module docstring)."""
+
+    def __init__(self, path: str | Path, fsync: bool = True, fresh: bool = False):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fd: int | None = None
+        if fresh and self.path.exists():
+            self._truncate()
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Journal one record: a single atomic-line append, then fsync."""
+        line = json.dumps(record, sort_keys=True, allow_nan=True) + "\n"
+        fd = self._ensure_fd()
+        os.write(fd, line.encode())
+        if self.fsync:
+            os.fsync(fd)
+
+    def unit(
+        self,
+        key: str,
+        status: str,
+        payload: dict | None,
+        attempts: int,
+        seconds: float,
+        degraded: bool = False,
+        failure: dict | None = None,
+    ) -> dict:
+        """Journal a terminal unit outcome; returns the record written."""
+        record = {
+            "kind": "unit",
+            "key": key,
+            "status": status,
+            "payload": payload,
+            "attempts": attempts,
+            "seconds": round(float(seconds), 6),
+            "degraded": bool(degraded),
+            "failure": failure,
+        }
+        self.append(record)
+        return record
+
+    def event(self, event: str, **fields) -> None:
+        """Journal a lifecycle/failure-channel event."""
+        self.append({"kind": "event", "event": event, **fields})
+
+    # -- reading ---------------------------------------------------------------
+
+    def replay(self) -> LedgerState:
+        """Parse the ledger, last unit record per key winning.
+
+        A torn (half-written) line — the signature of a crash mid-append —
+        is skipped and counted, never fatal: everything before it replays.
+        """
+        state = LedgerState()
+        if not self.path.exists():
+            return state
+        for raw in self.path.read_text().splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                state.torn_lines += 1
+                continue
+            if not isinstance(record, dict):
+                state.torn_lines += 1
+                continue
+            if record.get("kind") == "unit" and isinstance(record.get("key"), str):
+                state.units[record["key"]] = record
+            else:
+                state.events.append(record)
+        return state
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "Ledger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _ensure_fd(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(str(self.path), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        return self._fd
+
+    def _truncate(self) -> None:
+        """Reset to empty via an atomic replace (never a half-truncated file)."""
+        self.close()
+        tmp = self.path.with_name(f"{self.path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        tmp.write_bytes(b"")
+        os.replace(tmp, self.path)

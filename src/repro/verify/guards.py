@@ -44,7 +44,19 @@ _override: bool | None = None
 
 
 class GuardViolation(RuntimeError):
-    """A numerical invariant was violated at an engine boundary."""
+    """A numerical invariant was violated at an engine boundary.
+
+    Carries structured fields for the runner's failure ledger: ``where``
+    names the boundary that tripped, ``kind`` the invariant class
+    (``"nonfinite"``, ``"dtype"`` or ``"aliasing"``) — so a journaled
+    :class:`~repro.runner.policy.UnitFailure` is machine-readable, not
+    just a message string.
+    """
+
+    def __init__(self, message: str, where: str = "", kind: str = ""):
+        super().__init__(message)
+        self.where = where
+        self.kind = kind
 
 
 def active() -> bool:
@@ -76,7 +88,9 @@ def check_finite(where: str, value) -> None:
     bad = arr[~np.isfinite(arr)]
     raise GuardViolation(
         f"{where}: {bad.size} non-finite value(s) crossed an engine boundary "
-        f"(first: {bad.reshape(-1)[:4].tolist()})"
+        f"(first: {bad.reshape(-1)[:4].tolist()})",
+        where=where,
+        kind="nonfinite",
     )
 
 
@@ -88,7 +102,9 @@ def check_dtype(where: str, value, expected) -> None:
     expected = np.dtype(expected)
     if actual != expected:
         raise GuardViolation(
-            f"{where}: result dtype drifted to {actual}, engine is configured for {expected}"
+            f"{where}: result dtype drifted to {actual}, engine is configured for {expected}",
+            where=where,
+            kind="dtype",
         )
 
 
@@ -117,5 +133,7 @@ def check_update_safe(where: str, param) -> None:
         raise GuardViolation(
             f"{where}: parameter gradient aliases the parameter storage "
             f"(shape {np.asarray(data).shape}); the in-place update would "
-            "corrupt the gradient mid-step"
+            "corrupt the gradient mid-step",
+            where=where,
+            kind="aliasing",
         )

@@ -1,0 +1,89 @@
+"""Ledger unit tests: append/replay, torn lines, atomic truncation."""
+
+import json
+import os
+
+from repro.runner import Ledger, Runner, WorkUnit
+
+
+def test_replay_last_record_per_key_wins(tmp_path):
+    ledger = Ledger(tmp_path / "run.jsonl")
+    ledger.unit("a/b/-/-/-", "failed", None, attempts=3, seconds=0.1)
+    ledger.unit("a/b/-/-/-", "ok", {"v": 1}, attempts=1, seconds=0.2)
+    ledger.unit("a/c/-/-/-", "ok", {"v": 2}, attempts=1, seconds=0.3)
+    ledger.event("run-end", executed=2)
+    ledger.close()
+
+    state = Ledger(tmp_path / "run.jsonl").replay()
+    assert state.units["a/b/-/-/-"]["status"] == "ok"
+    assert state.units["a/b/-/-/-"]["payload"] == {"v": 1}
+    assert state.completed() == {"a/b/-/-/-", "a/c/-/-/-"}
+    assert state.succeeded() == {"a/b/-/-/-", "a/c/-/-/-"}
+    assert [e["event"] for e in state.events] == ["run-end"]
+    assert state.torn_lines == 0
+
+
+def test_torn_trailing_line_tolerated(tmp_path):
+    path = tmp_path / "run.jsonl"
+    ledger = Ledger(path)
+    ledger.unit("u/-/-/-/-", "ok", {"v": 7}, attempts=1, seconds=0.0)
+    ledger.close()
+    # A crash mid-append leaves a half-written line with no newline.
+    with open(path, "ab") as handle:
+        handle.write(b'{"kind": "unit", "key": "v/-/-/')
+
+    state = Ledger(path).replay()
+    assert state.torn_lines == 1
+    assert state.completed() == {"u/-/-/-/-"}
+
+
+def test_records_are_single_line_json(tmp_path):
+    path = tmp_path / "run.jsonl"
+    ledger = Ledger(path)
+    ledger.unit("k/-/-/-/-", "ok", {"text": "with\nnewline"}, attempts=1, seconds=0.0)
+    ledger.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["payload"]["text"] == "with\nnewline"
+
+
+def test_fresh_truncates_atomically(tmp_path):
+    path = tmp_path / "run.jsonl"
+    ledger = Ledger(path)
+    ledger.unit("k/-/-/-/-", "ok", {}, attempts=1, seconds=0.0)
+    ledger.close()
+    assert path.stat().st_size > 0
+    Ledger(path, fresh=True)
+    assert path.stat().st_size == 0
+    # No leftover temporary files from the replace.
+    assert [p.name for p in tmp_path.iterdir()] == ["run.jsonl"]
+
+
+def test_runner_resume_false_starts_fresh(tmp_path):
+    path = tmp_path / "run.jsonl"
+    unit = WorkUnit(experiment="e", fn=lambda: {"v": 1})
+    first = Runner(ledger=path).run([unit])
+    assert first.executed == [unit.key]
+
+    again = Runner(ledger=path, resume=False).run([unit])
+    assert again.executed == [unit.key]
+    assert again.replayed == []
+
+
+def test_ledger_survives_missing_file(tmp_path):
+    state = Ledger(tmp_path / "never-written.jsonl").replay()
+    assert state.completed() == set()
+    assert state.torn_lines == 0
+
+
+def test_append_is_o_append(tmp_path):
+    # Two Ledger handles on the same path interleave whole lines.
+    path = tmp_path / "run.jsonl"
+    a, b = Ledger(path), Ledger(path)
+    a.unit("a/-/-/-/-", "ok", {}, attempts=1, seconds=0.0)
+    b.unit("b/-/-/-/-", "ok", {}, attempts=1, seconds=0.0)
+    a.unit("c/-/-/-/-", "ok", {}, attempts=1, seconds=0.0)
+    a.close(), b.close()
+    state = Ledger(path).replay()
+    assert state.completed() == {"a/-/-/-/-", "b/-/-/-/-", "c/-/-/-/-"}
+    assert state.torn_lines == 0

@@ -1,0 +1,113 @@
+"""FailurePolicy unit tests: retries, budgets, backoff, degradation."""
+
+import numpy as np
+import pytest
+
+import repro.runner.policy as policy_module
+from repro.nn import Dense, Flatten, Network, ReLU
+from repro.runner import FailurePolicy, WorkUnit, degraded_engines, execute_unit
+
+
+def _unit(fn, networks=()):
+    return WorkUnit(experiment="t", fn=fn, networks=networks)
+
+
+def test_retry_then_success():
+    calls = []
+
+    def fn():
+        calls.append(1)
+        if len(calls) < 3:
+            raise RuntimeError("flaky")
+        return {"v": 1}
+
+    record = execute_unit(_unit(fn), FailurePolicy(max_attempts=3))
+    assert record["status"] == "ok"
+    assert record["attempts"] == 3
+    assert record["payload"] == {"v": 1}
+    # The last failure before success is preserved for post-mortems.
+    assert record["failure"]["error"] == "RuntimeError"
+
+
+def test_attempts_exhausted_yields_structured_failure():
+    def fn():
+        raise ValueError("always broken")
+
+    record = execute_unit(_unit(fn), FailurePolicy(max_attempts=2))
+    assert record["status"] == "failed"
+    assert record["attempts"] == 2
+    failure = record["failure"]
+    assert failure["error"] == "ValueError"
+    assert failure["kind"] == "error"
+    assert failure["unit"] == "t/-/-/-/-"
+    assert any("always broken" in line for line in failure["traceback"])
+
+
+def test_budget_exhaustion_stops_retries():
+    calls = []
+
+    def fn():
+        calls.append(1)
+        raise RuntimeError("slow failure")
+
+    policy = FailurePolicy(max_attempts=5, unit_budget_seconds=0.0)
+    record = execute_unit(_unit(fn), policy)
+    assert record["status"] == "failed"
+    assert len(calls) == 1  # budget checked before every retry
+    assert record["failure"]["kind"] == "budget"
+    assert "budget" in record["failure"]["message"]
+
+
+def test_backoff_is_deterministic(monkeypatch):
+    sleeps = []
+    monkeypatch.setattr(policy_module.time, "sleep", sleeps.append)
+
+    def fn():
+        raise RuntimeError("nope")
+
+    execute_unit(_unit(fn), FailurePolicy(max_attempts=4, backoff_base=0.5))
+    assert sleeps == [0.5, 1.0, 2.0]
+
+
+def test_non_dict_payload_is_a_failure():
+    record = execute_unit(_unit(lambda: [1, 2]), FailurePolicy(max_attempts=1))
+    assert record["status"] == "failed"
+    assert record["failure"]["error"] == "TypeError"
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        FailurePolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        FailurePolicy(guards="sometimes")
+
+
+def _small_network():
+    rng = np.random.default_rng(0)
+    return Network([Flatten(), Dense(16, 8, rng), ReLU(), Dense(8, 4, rng)], (1, 4, 4))
+
+
+def test_degraded_engines_swap_and_restore():
+    network = _small_network()
+    x = np.random.default_rng(1).normal(size=(3, 1, 4, 4))
+    original = (network.engine, network.grad_engine, network.train_engine)
+    assert original[0].dtype == np.dtype(np.float32)
+
+    with degraded_engines([network]):
+        assert network.engine.dtype == np.dtype(np.float64)
+        assert network.engine._kernels is None  # autograd fallback, not fused
+        assert network.grad_engine._kernels is None
+        assert network.train_engine.forced_fallback
+        logits64 = network.engine.logits(x)
+        assert logits64.dtype == np.float64
+
+    assert (network.engine, network.grad_engine, network.train_engine) == original
+
+
+def test_degraded_engines_restore_on_error():
+    network = _small_network()
+    original = network.engine
+    with pytest.raises(RuntimeError):
+        with degraded_engines([network]):
+            raise RuntimeError("unit body exploded")
+    assert network.engine is original

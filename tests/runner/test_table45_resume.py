@@ -1,0 +1,95 @@
+"""Acceptance: Table 4/5 killed at a unit boundary resumes byte-identically.
+
+Uses the shared ``.artifacts`` cache (pools, models, detectors are cached),
+with a reduced-``m`` RC so the repeated evaluation stays cheap.  The clean
+run and the kill+resume run must produce **byte-identical** assembled rows
+— the chunked classification path makes each unit's labels a function of
+its own chunk only, which is what this test pins down.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.eval import build_context, scale_config
+from repro.runner import Fault, FaultInjector, FaultPlan, Ledger, Runner
+from repro.runner import experiments as plans
+
+pytestmark = pytest.mark.chaos
+
+ATTACKS = ("cw-l2",)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    scale = scale_config("fast")
+    # Fewer RC votes: same machinery, ~10x cheaper evaluation.  Pool cache
+    # keys do not involve rc_samples, so the cached pools are reused.
+    cheap = dataclasses.replace(scale, rc_samples=100)
+    return build_context("mnist-fast", cheap)
+
+
+def _rows(result, units):
+    return json.dumps(plans.assemble_table45(result, units, attacks=ATTACKS), sort_keys=True)
+
+
+def test_kill_and_resume_matches_clean_run(ctx, tmp_path):
+    units = plans.plan_table45(ctx, attacks=ATTACKS)
+    assert len(units) > 10  # setup + craft + chunked eval
+
+    clean = Runner(ledger=tmp_path / "clean.jsonl").run(units)
+    assert clean.ok
+
+    # Kill the journaled run at a mid-plan unit boundary...
+    kill_at = len(units) // 2
+    plan = FaultPlan(faults=(Fault(kind="interrupt", unit_index=kill_at),), seed=1)
+    ledger_path = tmp_path / "killed.jsonl"
+    with pytest.raises(KeyboardInterrupt):
+        Runner(ledger=ledger_path).run(units, injector=FaultInjector(plan))
+    state = Ledger(ledger_path).replay()
+    assert len(state.completed()) == kill_at
+    assert any(e["event"] == "interrupt" for e in state.events)
+
+    # ...then resume: only the unfinished units execute, and the assembled
+    # table is byte-identical to the uninterrupted run's.
+    resumed = Runner(ledger=ledger_path).run(units)
+    assert resumed.ok
+    assert len(resumed.replayed) == kill_at
+    assert len(resumed.executed) == len(units) - kill_at
+    assert _rows(resumed, units) == _rows(clean, units)
+
+    # A third run replays everything without executing a single unit.
+    replay_only = Runner(ledger=ledger_path).run(units)
+    assert replay_only.executed == []
+    assert _rows(replay_only, units) == _rows(clean, units)
+
+
+def test_injected_failure_becomes_coverage_hole(ctx, tmp_path):
+    from repro.eval.tables import format_table45
+    from repro.runner import FailurePolicy
+
+    units = plans.plan_table45(ctx, attacks=ATTACKS)
+    # Exhaust the retry policy inside one DCN eval chunk.
+    target = next(
+        i for i, u in enumerate(units) if u.defense == "dcn" and u.chunk.startswith("seeds")
+    )
+    plan = FaultPlan(faults=(Fault(kind="raise", unit_index=target, attempts=99),), seed=2)
+    result = Runner(
+        ledger=tmp_path / "hole.jsonl", policy=FailurePolicy(max_attempts=2)
+    ).run(units, injector=FaultInjector(plan))
+
+    assert not result.ok
+    assert result.failed == [units[target].key]
+
+    rows = plans.assemble_table45(result, units, attacks=ATTACKS)
+    cell = rows["dcn"]["cw-l2"]
+    ok, total = cell["coverage"]
+    assert ok == total - 1  # one chunk missing, the rest intact
+    assert 0.0 <= cell["targeted"] <= 1.0  # rate over the covered chunks
+    for defense in ("standard", "distillation", "rc"):
+        cov = rows[defense]["cw-l2"]["coverage"]
+        assert cov[0] == cov[1]
+
+    table = format_table45(rows, "mnist-fast", coverage=True)
+    assert f"{ok}/{total}" in table  # the finished table reports coverage

@@ -1,0 +1,49 @@
+"""KeyboardInterrupt during training exits cleanly with a flushed history."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dense, Flatten, Network, TrainConfig, fit
+
+
+def _problem():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 1, 4, 4))
+    y = rng.integers(0, 4, size=64)
+    network = Network([Flatten(), Dense(16, 4, rng)], (1, 4, 4))
+    return network, x, y
+
+
+@pytest.mark.parametrize("engine", [True, False])
+def test_interrupt_mid_fit_flushes_partial_history(engine):
+    network, x, y = _problem()
+    interrupt_at = 2
+
+    def schedule(epoch):
+        if epoch == interrupt_at:
+            raise KeyboardInterrupt("simulated SIGINT")
+        return 1e-3
+
+    config = TrainConfig(epochs=10, batch_size=32, schedule=schedule, engine=engine)
+    with pytest.raises(KeyboardInterrupt) as excinfo:
+        fit(network, Adam(network.parameters(), lr=1e-3), x, y, config, np.random.default_rng(1))
+
+    history = excinfo.value.partial_history
+    assert history.interrupted is True
+    assert len(history.loss) == interrupt_at  # completed epochs flushed
+    assert len(history.epoch_seconds) == interrupt_at
+    assert history.seconds > 0.0
+
+
+def test_uninterrupted_fit_is_not_marked():
+    network, x, y = _problem()
+    history = fit(
+        network,
+        Adam(network.parameters(), lr=1e-3),
+        x,
+        y,
+        TrainConfig(epochs=2, batch_size=32),
+        np.random.default_rng(1),
+    )
+    assert history.interrupted is False
+    assert len(history.loss) == 2
