@@ -13,7 +13,9 @@ Run as a script::
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --out bench.json
 
 The acceptance bar from the engine refactor: ``engine-f32`` must beat
-``legacy`` by >= 1.5x examples/second.
+``legacy`` by >= 1.5x examples/second.  Results (with provenance context:
+git SHA, toolchain versions, run parameters) are persisted to
+``BENCH_engine_throughput.json`` for the bench-regression gate.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 
+from bench_common import bench_context, dataset_fingerprint, write_payload
 from repro.nn import InferenceEngine, Tensor, no_grad
 from repro.zoo import model_for_dataset
 
@@ -81,6 +84,13 @@ def run(n_examples: int, repeats: int) -> dict:
     f32 = engine32.logits(x, memo=False)
     speedup = results["engine-f32"]["examples_per_sec"] / results["legacy"]["examples_per_sec"]
     return {
+        "context": bench_context(
+            dataset=dataset.name,
+            dataset_fingerprint=dataset_fingerprint(x),
+            examples=len(x),
+            batch_size=BATCH_SIZE,
+            repeats=repeats,
+        ),
         "dataset": dataset.name,
         "examples": len(x),
         "batch_size": BATCH_SIZE,
@@ -105,10 +115,9 @@ def main(argv=None) -> int:
         parser.error("--repeats must be >= 1")
 
     payload = run(args.examples, args.repeats)
-    text = json.dumps(payload, indent=2)
-    print(text)
-    if args.out:
-        args.out.write_text(text + "\n")
+    print(json.dumps(payload, indent=2))
+    path = write_payload("engine_throughput", payload, out=args.out)
+    print(f"wrote {path}", file=sys.stderr)
     return 0 if payload["meets_1p5x_bar"] else 1
 
 

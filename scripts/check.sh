@@ -20,7 +20,9 @@ echo "== nn + verify tests, warnings as errors =="
 # invalid value) from a kernel is a latent divergence, not noise.
 python -m pytest -x -q -W error tests/nn tests/verify
 
-echo "== verify smoke (cross-engine differential) =="
+echo "== verify smoke (compiled plans + cross-engine differential) =="
+# Fuzzes the compiled infer/grad/train plans against float64 autograd,
+# including the zero-budget replay checks (plan buffer-reuse hazards).
 REPRO_VERIFY=1 python -m repro verify --seed 0 --cases 6
 
 echo "== runner smoke (kill mid-flight, resume, diff vs clean) =="
@@ -32,4 +34,8 @@ echo "ok"
 
 echo "== training-engine benchmark (smoke) =="
 python benchmarks/bench_train_throughput.py --smoke > /dev/null
+echo "ok"
+
+echo "== compiled-plan benchmark (smoke) =="
+python benchmarks/bench_plan_throughput.py --smoke > /dev/null
 echo "ok"

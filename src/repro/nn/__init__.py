@@ -11,6 +11,7 @@ from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU,
 from .norm import BatchNorm1D, BatchNorm2D
 from .network import Network
 from .optim import SGD, Adam
+from .plan import DEFAULT_PLAN_ENTRIES, CompiledPlan, compile_plan
 from .tensor import Tensor, as_tensor, no_grad
 from .train import History, TrainConfig, fit
 from .train_engine import (
@@ -38,6 +39,9 @@ __all__ = [
     "CROSS_ENTROPY",
     "MSE",
     "soft_cross_entropy_loss",
+    "CompiledPlan",
+    "compile_plan",
+    "DEFAULT_PLAN_ENTRIES",
     "Dense",
     "Conv2D",
     "MaxPool2D",

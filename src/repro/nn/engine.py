@@ -7,10 +7,14 @@ callers used to re-implement ad hoc:
 
 Batch planning with a configurable compute dtype
     Inference runs in ``float32`` by default (training stays ``float64``;
-    see DESIGN.md).  The engine executes its own raw-NumPy kernels per
-    layer type — no autograd graph, no :class:`~repro.nn.tensor.Tensor`
-    wrappers — with parameters cast once into a staleness-checked cache,
-    so the hot im2col matmuls genuinely run in single precision.
+    see DESIGN.md).  The engine executes :class:`~repro.nn.plan.CompiledPlan`
+    objects — the layer stack lowered once per batch shape into raw-NumPy
+    ops with arena-preallocated buffers and fused elementwise chains — no
+    autograd graph, no :class:`~repro.nn.tensor.Tensor` wrappers.  Plans
+    live in a bounded per-engine LRU keyed by the exact batch shape
+    (``plan_entries``); parameters are read through a staleness-checked
+    cast cache, so the hot im2col matmuls genuinely run in single
+    precision and pick up ``load_state``/optimiser updates live.
 
 A bounded content-hash memo
     The evaluation harness queries the same pools repeatedly (Table 2's
@@ -37,14 +41,13 @@ import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, replace
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..verify import guards
-from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
-from .norm import _BatchNormBase
-from .ops import im2col, stable_sigmoid
+from .plan import DEFAULT_PLAN_ENTRIES, CompiledPlan
+from .plan import supports as plan_supports
 from .tensor import Tensor, no_grad
 
 if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
@@ -64,6 +67,8 @@ class EngineCounters:
     examples: int = 0  # rows actually pushed through the network
     memo_hits: int = 0
     memo_misses: int = 0
+    plan_hits: int = 0  # batches served by a cached compiled plan
+    plan_misses: int = 0  # plan compilations (new batch shape, or cache off)
     seconds: float = 0.0  # wall clock spent inside batched forwards
 
     def as_dict(self) -> dict[str, float]:
@@ -98,9 +103,12 @@ class InferenceEngine:
     memo_entries:
         Capacity of the logits memo (LRU eviction).  ``0`` disables it.
     native:
-        ``False`` skips kernel compilation entirely, forcing every batch
+        ``False`` skips plan compilation entirely, forcing every batch
         onto the float64 autograd fallback — the degradation ladder's
         reference rung (see :mod:`repro.runner.policy`).
+    plan_entries:
+        Capacity of the compiled-plan LRU (keyed by exact batch shape).
+        ``0`` keeps the plan layer but recompiles per call.
     """
 
     def __init__(
@@ -110,15 +118,19 @@ class InferenceEngine:
         batch_size: int = DEFAULT_BATCH_SIZE,
         memo_entries: int = 64,
         native: bool = True,
+        plan_entries: int = DEFAULT_PLAN_ENTRIES,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if memo_entries < 0:
             raise ValueError("memo_entries must be >= 0")
+        if plan_entries < 0:
+            raise ValueError("plan_entries must be >= 0")
         self.network = network
         self.dtype = np.dtype(dtype)
         self.batch_size = batch_size
         self.memo_entries = memo_entries
+        self.plan_entries = plan_entries
         self.counters = EngineCounters()
         self._memo: OrderedDict[bytes, np.ndarray] = OrderedDict()
         # param-id -> (source array ref, version, cast copy); checked by
@@ -129,7 +141,10 @@ class InferenceEngine:
         # (array ref, version) pairs backing the memo's validity: if any
         # parameter changes either way, every memoised result is stale.
         self._memo_param_refs: list[tuple[np.ndarray, int]] = []
-        self._kernels = self._compile() if native else None
+        # batch shape -> CompiledPlan (LRU).  Plans depend only on shapes;
+        # parameter changes flow through the cast cache, never stale here.
+        self._plans: OrderedDict[tuple[int, ...], CompiledPlan] = OrderedDict()
+        self._native = bool(native) and plan_supports(network)
 
     # -- public API -----------------------------------------------------------
 
@@ -192,15 +207,16 @@ class InferenceEngine:
         self.counters = EngineCounters()
 
     def invalidate(self) -> None:
-        """Drop the memo and every cached parameter cast."""
+        """Drop the memo, every cached parameter cast and every compiled plan."""
         self._memo.clear()
         self._casts.clear()
         self._memo_param_refs = []
+        self._plans.clear()
 
     @property
     def supports_native(self) -> bool:
-        """Whether every layer runs on the engine's raw-NumPy kernels."""
-        return self._kernels is not None
+        """Whether every layer runs on the engine's compiled raw-NumPy plans."""
+        return self._native
 
     # -- memo -----------------------------------------------------------------
 
@@ -255,81 +271,33 @@ class InferenceEngine:
         return result
 
     def _forward(self, batch: np.ndarray) -> np.ndarray:
-        if self._kernels is None:
+        if not self._native:
             # Legacy fallback for unknown layer types: float64 autograd
             # forward with graph recording disabled.  Cast back so callers
             # always receive the engine dtype, native path or not.
             with no_grad():
                 out = self.network.forward(Tensor(batch)).data
             return np.ascontiguousarray(out, dtype=self.dtype)
-        out = batch
-        for kernel in self._kernels:
-            out = kernel(out)
-        return out
+        # The plan hands back its own reused buffer; copy at the boundary so
+        # callers (and the memo) own their bytes, exactly as before.
+        return self._plan_for(batch.shape).run(batch).copy()
 
-    # -- kernel compilation ----------------------------------------------------
+    # -- plan cache ------------------------------------------------------------
 
-    def _compile(self) -> list[Callable[[np.ndarray], np.ndarray]] | None:
-        kernels = []
-        for layer in self.network.layers:
-            kernel = self._kernel_for(layer)
-            if kernel is None:
-                return None
-            kernels.append(kernel)
-        return kernels
-
-    def _kernel_for(self, layer) -> Callable[[np.ndarray], np.ndarray] | None:
-        if isinstance(layer, Dense):
-            weight, bias = layer.params["weight"], layer.params["bias"]
-            return lambda x: x @ self._cast(weight) + self._cast(bias)
-        if isinstance(layer, Conv2D):
-            return self._conv_kernel(layer)
-        if isinstance(layer, MaxPool2D):
-            return lambda x: _max_pool(x, layer.size, layer.stride)
-        if isinstance(layer, AvgPool2D):
-            return lambda x: _avg_pool(x, layer.size)
-        if isinstance(layer, Flatten):
-            return lambda x: x.reshape(len(x), int(np.prod(x.shape[1:])))
-        if isinstance(layer, ReLU):
-            return lambda x: np.maximum(x, 0.0, dtype=x.dtype)
-        if isinstance(layer, Tanh):
-            return np.tanh
-        if isinstance(layer, Sigmoid):
-            return stable_sigmoid
-        if isinstance(layer, Dropout):
-            return lambda x: x  # inference-time identity
-        if isinstance(layer, _BatchNormBase):
-            return self._batchnorm_kernel(layer)
-        return None
-
-    def _conv_kernel(self, layer: Conv2D) -> Callable[[np.ndarray], np.ndarray]:
-        weight, bias = layer.params["weight"], layer.params["bias"]
-        stride, padding, kernel = layer.stride, layer.padding, layer.kernel_size
-        c_out = layer.out_channels
-
-        def run(x: np.ndarray) -> np.ndarray:
-            if padding:
-                x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-            n, _, h, w = x.shape
-            out_h = (h - kernel) // stride + 1
-            out_w = (w - kernel) // stride + 1
-            cols = im2col(x, kernel, stride)
-            w_mat = self._cast(weight).reshape(c_out, -1)
-            out = cols @ w_mat.T + self._cast(bias)
-            return np.ascontiguousarray(out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
-
-        return run
-
-    def _batchnorm_kernel(self, layer: _BatchNormBase) -> Callable[[np.ndarray], np.ndarray]:
-        def run(x: np.ndarray) -> np.ndarray:
-            # Recomputed per batch from the live running statistics; the
-            # vectors are tiny, so the cast cost is negligible.
-            scale = layer.params["gamma"].data / np.sqrt(layer.running_var + layer.eps)
-            shift = layer.params["beta"].data - layer.running_mean * scale
-            shape = layer._shape
-            return x * scale.reshape(shape).astype(x.dtype) + shift.reshape(shape).astype(x.dtype)
-
-        return run
+    def _plan_for(self, shape: tuple[int, ...]) -> CompiledPlan:
+        key = tuple(shape)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.counters.plan_hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.counters.plan_misses += 1
+        plan = CompiledPlan(self.network, key, self.dtype, "infer", self._cast)
+        if self.plan_entries > 0:
+            self._plans[key] = plan
+            while len(self._plans) > self.plan_entries:
+                self._plans.popitem(last=False)
+        return plan
 
     def _cast(self, param: Tensor) -> np.ndarray:
         """Cached dtype cast of a parameter, identity+version-checked for staleness."""
@@ -339,18 +307,3 @@ class InferenceEngine:
             entry = (source, param.version, np.ascontiguousarray(source, dtype=self.dtype))
             self._casts[id(param)] = entry
         return entry[2]
-
-
-def _max_pool(x: np.ndarray, size: int, stride: int) -> np.ndarray:
-    n, c, h, w = x.shape
-    if stride == size and h % size == 0 and w % size == 0:
-        return x.reshape(n, c, h // size, size, w // size, size).max(axis=(3, 5))
-    out_h = (h - size) // stride + 1
-    out_w = (w - size) // stride + 1
-    cols = im2col(x.reshape(n * c, 1, h, w), size, stride)
-    return cols.max(axis=1).reshape(n, c, out_h, out_w)
-
-
-def _avg_pool(x: np.ndarray, size: int) -> np.ndarray:
-    n, c, h, w = x.shape
-    return x.reshape(n, c, h // size, size, w // size, size).mean(axis=(3, 5), dtype=x.dtype)

@@ -10,20 +10,26 @@ closure per op, one float64 temporary per edge.  The engine instead runs
 hand-written, dtype-configurable (float32 by default) forward and backward
 kernels with no :class:`~repro.nn.tensor.Tensor` wrappers at all:
 
-Fused forward/backward with stashed activations
-    :meth:`forward` runs the network once and returns ``(logits, ctx)``
-    where ``ctx`` captures exactly what each layer's backward needs (ReLU
-    masks, pool argmaxes, conv geometries).  :meth:`backward` seeds the
-    logits with an arbitrary cotangent and replays the stack in reverse.
-    Because the context is reusable, :meth:`jacobian` does **one** forward
-    followed by ``C`` seeded backwards instead of the legacy ``C`` full
-    forward+backward passes.
+Compiled plans with stashed activations
+    :meth:`forward` executes a :class:`~repro.nn.plan.CompiledPlan` in
+    ``grad`` mode — the layer stack lowered once per batch shape into
+    buffer-bound ops that stash exactly what each backward needs (ReLU
+    masks, pool argmaxes, conv geometries) — and returns ``(logits, ctx)``.
+    :meth:`backward` seeds the logits with an arbitrary cotangent and
+    replays the stack in reverse.  Because the context is reusable,
+    :meth:`jacobian` does **one** forward followed by ``C`` seeded
+    backwards instead of the legacy ``C`` full forward+backward passes.
+    Contexts are generation-stamped: a backward against a context that a
+    later same-shape forward has overwritten raises
+    :class:`~repro.verify.guards.GuardViolation` (``kind="stale-context"``)
+    instead of silently reading the newer activations.
 
 Cached im2col index sets
     Convolution (and the strided max-pool path) gather their patch matrices
     through integer index sets cached per input geometry
-    ``(channels, height, width, kernel, stride)``, so steady-state attack
-    iterations spend their time inside BLAS matmuls, not index arithmetic.
+    ``(channels, height, width, kernel, stride)`` in the bounded LRU of
+    :mod:`repro.nn.kernels`, so steady-state attack iterations spend their
+    time inside BLAS matmuls, not index arithmetic.
 
 Counters and an autograd fallback
     ``engine.counters`` (:class:`GradientCounters`) tracks backward batches,
@@ -40,15 +46,18 @@ Dtype policy: attacks default to float32 through this engine; training
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, replace
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..verify import guards
-from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
-from .norm import _BatchNormBase
-from .ops import stable_sigmoid
+from .kernels import IM2COL_CACHE as _IM2COL_CACHE  # noqa: F401 - back-compat alias
+from .kernels import col2im as _col2im  # noqa: F401 - back-compat alias
+from .kernels import im2col_indices
+from .plan import DEFAULT_PLAN_ENTRIES, CompiledPlan
+from .plan import supports as plan_supports
 from .tensor import Tensor
 
 if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
@@ -61,38 +70,6 @@ DEFAULT_BATCH_SIZE = 256
 # Offset excluding the target class from max_{i != t} Z_i (matches attacks.cw).
 _EXCLUDE = 1e6
 
-# (channels, h, w, kernel, stride) -> (gather indices, out_h, out_w).
-# Module-level so the gradient and training engines (and several engines per
-# network) share one set of integer index arrays per geometry.
-_IM2COL_CACHE: dict[tuple[int, int, int, int, int], tuple[np.ndarray, int, int]] = {}
-
-
-def im2col_indices(c: int, h: int, w: int, kernel: int, stride: int):
-    """Gather indices turning a flat image into im2col patch rows.
-
-    Cached per input geometry; the returned flat index array has
-    ``out_h * out_w * c * kernel²`` entries addressing the flattened
-    ``(c, h, w)`` image in the same ``(row: oh, ow; col: c, kh, kw)``
-    order as :func:`repro.nn.ops.im2col`, ready for ``np.take``.
-    """
-    key = (c, h, w, kernel, stride)
-    cached = _IM2COL_CACHE.get(key)
-    if cached is None:
-        out_h = (h - kernel) // stride + 1
-        out_w = (w - kernel) // stride + 1
-        ks = np.arange(kernel)
-        rows = np.arange(out_h) * stride
-        cols = np.arange(out_w) * stride
-        idx = (
-            np.arange(c)[None, None, :, None, None] * (h * w)
-            + (rows[:, None] + ks[None, :])[:, None, None, :, None] * w
-            + (cols[:, None] + ks[None, :])[None, :, None, None, :]
-        )
-        cached = (np.ascontiguousarray(idx.reshape(-1)), out_h, out_w)
-        _IM2COL_CACHE[key] = cached
-    return cached
-
-
 @dataclass
 class GradientCounters:
     """Cumulative backward-pass work counters of one gradient engine."""
@@ -102,6 +79,8 @@ class GradientCounters:
     examples: int = 0  # rows pushed through a backward pass
     seconds: float = 0.0  # wall clock inside forward/backward kernels
     fallbacks: int = 0  # backward passes served by float64 autograd
+    plan_hits: int = 0  # forwards served by a cached compiled plan
+    plan_misses: int = 0  # plan compilations (new batch shape, or cache off)
 
     def as_dict(self) -> dict[str, float]:
         return asdict(self)
@@ -139,12 +118,19 @@ def margin_seed(
 
 
 class _NativeContext:
-    """Per-layer activations stashed by a native forward pass (reusable)."""
+    """Handle onto a compiled plan's stashed activations (reusable).
 
-    __slots__ = ("layer_ctxs", "batch_len")
+    Generation-stamped: :meth:`GradientEngine.backward` may seed it any
+    number of times (the Jacobian loop), but once a *newer* same-shape
+    forward has run on the same plan, using it raises a stale-context
+    :class:`~repro.verify.guards.GuardViolation`.
+    """
 
-    def __init__(self, layer_ctxs: list, batch_len: int):
-        self.layer_ctxs = layer_ctxs
+    __slots__ = ("plan", "generation", "batch_len")
+
+    def __init__(self, plan: CompiledPlan, generation: int, batch_len: int):
+        self.plan = plan
+        self.generation = generation
         self.batch_len = batch_len
 
 
@@ -195,9 +181,12 @@ class GradientEngine:
         Default batch plan of the public gradient methods; per-call
         ``batch_size`` overrides it.
     native:
-        ``False`` skips kernel compilation, forcing every pass onto the
+        ``False`` skips plan compilation, forcing every pass onto the
         float64 autograd fallback — the degradation ladder's reference
         rung (see :mod:`repro.runner.policy`).
+    plan_entries:
+        Capacity of the compiled-plan LRU (keyed by exact batch shape).
+        ``0`` keeps the plan layer but recompiles per call.
     """
 
     def __init__(
@@ -206,31 +195,39 @@ class GradientEngine:
         dtype: np.dtype | type = np.float32,
         batch_size: int = DEFAULT_BATCH_SIZE,
         native: bool = True,
+        plan_entries: int = DEFAULT_PLAN_ENTRIES,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if plan_entries < 0:
+            raise ValueError("plan_entries must be >= 0")
         self.network = network
         self.dtype = np.dtype(dtype)
         self.batch_size = batch_size
+        self.plan_entries = plan_entries
         self.counters = GradientCounters()
         # param-id -> (source array ref, version, cast copy); checked by
         # identity (rebinding) and version (in-place optimiser updates).
         self._casts: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
-        self._kernels = self._compile() if native else None
+        # batch shape -> CompiledPlan (grad mode, LRU); plans depend only
+        # on shapes — parameter changes flow through the cast cache.
+        self._plans: "OrderedDict[tuple[int, ...], CompiledPlan]" = OrderedDict()
+        self._native = bool(native) and plan_supports(network)
 
     # -- public API -----------------------------------------------------------
 
     @property
     def supports_native(self) -> bool:
-        """Whether every layer runs on the fused raw-NumPy kernels."""
-        return self._kernels is not None
+        """Whether every layer runs on the compiled raw-NumPy plans."""
+        return self._native
 
     def reset_counters(self) -> None:
         self.counters = GradientCounters()
 
     def invalidate(self) -> None:
-        """Drop every cached parameter cast (index caches are geometry-keyed)."""
+        """Drop every cached parameter cast and compiled plan."""
         self._casts.clear()
+        self._plans.clear()
 
     def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
         """One unbatched forward pass returning ``(logits, context)``.
@@ -242,16 +239,16 @@ class GradientEngine:
         """
         x = np.ascontiguousarray(np.asarray(x), dtype=self.dtype)
         start = time.perf_counter()
-        if self._kernels is None:
+        if not self._native:
             ctx: object = _FallbackContext(self.network, x)
             out = ctx.logits.data.astype(self.dtype)
         else:
-            layer_ctxs = []
-            out = x
-            for forward_kernel, _ in self._kernels:
-                out, layer_ctx = forward_kernel(out)
-                layer_ctxs.append(layer_ctx)
-            ctx = _NativeContext(layer_ctxs, len(x))
+            plan = self._plan_for(x.shape)
+            buffer, generation = plan.run_forward(x)
+            # Boundary copy: the plan reuses the logits buffer on the next
+            # same-shape forward; callers own what they are handed.
+            out = buffer.copy()
+            ctx = _NativeContext(plan, generation, len(x))
         self.counters.seconds += time.perf_counter() - start
         guards.check_output("GradientEngine.forward", out, self.dtype)
         return out, ctx
@@ -270,11 +267,9 @@ class GradientEngine:
         else:
             assert isinstance(ctx, _NativeContext)
             self.counters.examples += ctx.batch_len
-            grad = np.ascontiguousarray(np.asarray(seed), dtype=self.dtype)
-            for (_, backward_kernel), layer_ctx in zip(
-                reversed(self._kernels), reversed(ctx.layer_ctxs)
-            ):
-                grad = backward_kernel(grad, layer_ctx)
+            # The plan copies the seed before any in-place transform and
+            # hands back its own gradient buffer; copy at the boundary.
+            grad = ctx.plan.run_backward(seed, ctx.generation).copy()
         self.counters.seconds += time.perf_counter() - start
         guards.check_output("GradientEngine.backward", grad, self.dtype)
         return grad
@@ -375,165 +370,24 @@ class GradientEngine:
         step = batch_size or self.batch_size
         return ((begin, min(begin + step, n)) for begin in range(0, n, step))
 
-    # -- kernel compilation ----------------------------------------------------
+    # -- plan cache ------------------------------------------------------------
 
-    def _compile(self):
-        kernels = []
-        for layer in self.network.layers:
-            pair = self._kernel_for(layer)
-            if pair is None:
-                return None
-            kernels.append(pair)
-        return kernels
+    def _plan_for(self, shape: tuple[int, ...]) -> CompiledPlan:
+        key = tuple(shape)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.counters.plan_hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.counters.plan_misses += 1
+        plan = CompiledPlan(self.network, key, self.dtype, "grad", self._cast)
+        if self.plan_entries > 0:
+            self._plans[key] = plan
+            while len(self._plans) > self.plan_entries:
+                self._plans.popitem(last=False)
+        return plan
 
-    def _kernel_for(self, layer):
-        if isinstance(layer, Dense):
-            return self._dense_kernel(layer)
-        if isinstance(layer, Conv2D):
-            return self._conv_kernel(layer)
-        if isinstance(layer, MaxPool2D):
-            return self._max_pool_kernel(layer)
-        if isinstance(layer, AvgPool2D):
-            return self._avg_pool_kernel(layer)
-        if isinstance(layer, Flatten):
-            return (
-                lambda x: (x.reshape(len(x), int(np.prod(x.shape[1:]))), x.shape),
-                lambda grad, shape: grad.reshape(shape),
-            )
-        if isinstance(layer, ReLU):
-            return (
-                lambda x: (np.maximum(x, 0.0, dtype=x.dtype), x > 0),
-                lambda grad, mask: grad * mask,
-            )
-        if isinstance(layer, Tanh):
-            return (
-                lambda x: ((out := np.tanh(x)), out),
-                lambda grad, out: grad * (1.0 - out * out),
-            )
-        if isinstance(layer, Sigmoid):
-            return (
-                lambda x: ((out := stable_sigmoid(x)), out),
-                lambda grad, out: grad * out * (1.0 - out),
-            )
-        if isinstance(layer, Dropout):
-            # Inference-time identity (attacks never run the training path).
-            return (lambda x: (x, None), lambda grad, _: grad)
-        if isinstance(layer, _BatchNormBase):
-            return self._batchnorm_kernel(layer)
-        return None
-
-    def _dense_kernel(self, layer: Dense):
-        weight, bias = layer.params["weight"], layer.params["bias"]
-
-        def forward(x):
-            return x @ self._cast(weight) + self._cast(bias), None
-
-        def backward(grad, _):
-            return grad @ self._cast(weight).T
-
-        return forward, backward
-
-    def _conv_kernel(self, layer: Conv2D):
-        weight, bias = layer.params["weight"], layer.params["bias"]
-        stride, padding, kernel = layer.stride, layer.padding, layer.kernel_size
-        c_out = layer.out_channels
-
-        def forward(x):
-            if padding:
-                x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-            n, c, h, w = x.shape
-            idx, out_h, out_w = self._im2col_indices(c, h, w, kernel, stride)
-            # np.take (not fancy indexing) so the patch matrix comes out
-            # C-contiguous and the reshape below stays a view.
-            cols = np.take(x.reshape(n, c * h * w), idx, axis=1).reshape(
-                n * out_h * out_w, c * kernel * kernel
-            )
-            w_mat = self._cast(weight).reshape(c_out, -1)
-            out = cols @ w_mat.T + self._cast(bias)
-            out = np.ascontiguousarray(out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
-            return out, (n, c, h, w)
-
-        def backward(grad, ctx):
-            n, c, h, w = ctx
-            _, out_h, out_w = self._im2col_indices(c, h, w, kernel, stride)
-            grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
-            grad_cols = grad_mat @ self._cast(weight).reshape(c_out, -1)
-            gx = _col2im(grad_cols, (n, c, h, w), kernel, stride, out_h, out_w)
-            if padding:
-                gx = gx[:, :, padding:-padding, padding:-padding]
-            return np.ascontiguousarray(gx)
-
-        return forward, backward
-
-    def _max_pool_kernel(self, layer: MaxPool2D):
-        size, stride = layer.size, layer.stride
-
-        def forward(x):
-            n, c, h, w = x.shape
-            if stride == size and h % size == 0 and w % size == 0:
-                out_h, out_w = h // size, w // size
-                flat = x.reshape(n, c, out_h, size, out_w, size).transpose(0, 1, 2, 4, 3, 5)
-                flat = flat.reshape(n, c, out_h, out_w, size * size)
-                arg = flat.argmax(axis=-1)
-                out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
-                return np.ascontiguousarray(out), ("fast", arg, x.shape)
-            # General (overlapping / ragged) path via per-channel im2col.
-            idx, out_h, out_w = self._im2col_indices(1, h, w, size, stride)
-            cols = np.take(x.reshape(n * c, h * w), idx, axis=1).reshape(-1, size * size)
-            arg = cols.argmax(axis=1)
-            out = cols[np.arange(cols.shape[0]), arg].reshape(n, c, out_h, out_w)
-            return out, ("general", arg, x.shape)
-
-        def backward(grad, ctx):
-            kind, arg, x_shape = ctx
-            n, c, h, w = x_shape
-            if kind == "fast":
-                out_h, out_w = h // size, w // size
-                gflat = np.zeros((n, c, out_h, out_w, size * size), dtype=grad.dtype)
-                np.put_along_axis(gflat, arg[..., None], grad[..., None], axis=-1)
-                gx = gflat.reshape(n, c, out_h, out_w, size, size).transpose(0, 1, 2, 4, 3, 5)
-                return np.ascontiguousarray(gx.reshape(x_shape))
-            _, out_h, out_w = self._im2col_indices(1, h, w, size, stride)
-            gcols = np.zeros((n * c * out_h * out_w, size * size), dtype=grad.dtype)
-            gcols[np.arange(gcols.shape[0]), arg] = grad.reshape(-1)
-            gx = _col2im(gcols, (n * c, 1, h, w), size, stride, out_h, out_w)
-            return gx.reshape(x_shape)
-
-        return forward, backward
-
-    def _avg_pool_kernel(self, layer: AvgPool2D):
-        size = layer.size
-
-        def forward(x):
-            n, c, h, w = x.shape
-            blocks = x.reshape(n, c, h // size, size, w // size, size)
-            return blocks.mean(axis=(3, 5), dtype=x.dtype), x.shape
-
-        def backward(grad, x_shape):
-            spread = np.repeat(np.repeat(grad, size, axis=2), size, axis=3)
-            return spread / grad.dtype.type(size * size)
-
-        return forward, backward
-
-    def _batchnorm_kernel(self, layer: _BatchNormBase):
-        # Eval-mode batch norm is affine in x; gradients flow through the
-        # scale only (the running statistics are constants — the same
-        # simplification the autograd layer makes).
-        def forward(x):
-            scale = layer.params["gamma"].data / np.sqrt(layer.running_var + layer.eps)
-            shift = layer.params["beta"].data - layer.running_mean * scale
-            shape = layer._shape
-            scale = scale.reshape(shape).astype(x.dtype)
-            return x * scale + shift.reshape(shape).astype(x.dtype), scale
-
-        def backward(grad, scale):
-            return grad * scale
-
-        return forward, backward
-
-    # -- cached index sets and parameter casts ---------------------------------
-
-    _im2col_indices = staticmethod(im2col_indices)
+    # -- parameter casts -------------------------------------------------------
 
     def _cast(self, param: Tensor) -> np.ndarray:
         """Cached dtype cast of a parameter, identity+version-checked for staleness."""
@@ -543,18 +397,3 @@ class GradientEngine:
             entry = (source, param.version, np.ascontiguousarray(source, dtype=self.dtype))
             self._casts[id(param)] = entry
         return entry[2]
-
-
-def _col2im(
-    cols: np.ndarray, x_shape: tuple[int, ...], kernel: int, stride: int, out_h: int, out_w: int
-) -> np.ndarray:
-    """Scatter-add im2col patch gradients back into an image batch."""
-    n, c, h, w = x_shape
-    cols6 = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
-    x = np.zeros(x_shape, dtype=cols.dtype)
-    for i in range(kernel):
-        for j in range(kernel):
-            x[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += cols6[
-                :, :, :, :, i, j
-            ]
-    return x

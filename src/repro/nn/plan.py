@@ -1,0 +1,718 @@
+"""Compiled execution plans: the layer stack lowered once, executed many times.
+
+The serving-shaped hot path of this reproduction is *repeated same-shape*
+work: the detector-gated fast path pays one forward per request, the
+corrector fans a flagged input into a fused ``(n_flagged × m)`` batch, and
+every attack inner loop pushes identically-shaped batches through the same
+network thousands of times.  Before this module, each of the three engines
+re-decided shapes, re-derived im2col geometry and re-allocated every
+activation on every call.
+
+:func:`compile_plan` walks a network once for a fixed ``(batch shape,
+dtype, mode)`` and emits a :class:`CompiledPlan`:
+
+Explicit op list with arena-preallocated buffers
+    Each layer lowers to one op (or fused stage, below) whose output,
+    scratch and gradient buffers are allocated at compile time and reused
+    on every call — steady state allocates nothing but the per-call BLAS
+    work.  Results are handed back as plan-owned buffers; the engines copy
+    at their public boundaries, preserving the fresh-array semantics
+    callers have always had.
+
+Fused elementwise chains
+    ReLU / tanh / sigmoid / eval-mode batch norm / training dropout fold
+    in place onto their producer's buffer (conv→bn→relu is one step, one
+    buffer), except where the backward pass needs the producer's values
+    intact: in ``grad``/``train`` mode a tanh/sigmoid output is *protected*
+    — it is needed to form its own gradient, so nothing may fuse over it
+    and the chain restarts on a fresh buffer.  ReLU stays fusable in every
+    mode by stashing its sign mask in a preallocated boolean buffer.
+
+Geometry bound once
+    im2col gather indices (shared bounded LRU in :mod:`repro.nn.kernels`),
+    pool argmax buffers, padded-input frames and flatten shapes are
+    resolved at compile time, keyed by the concrete batch shape.
+
+Live parameters, no stale views
+    Ops read parameters through the owning engine's staleness-checked cast
+    cache (identity + ``Tensor.version``), so ``load_state``, in-place
+    optimiser steps and ``parameters_bound`` dtype rebinding are picked up
+    with no plan invalidation — a plan depends only on shapes.
+
+Generation-checked gradient contexts
+    ``grad``/``train`` forwards stamp a generation; a backward presented
+    with a context from an older forward would read overwritten buffers,
+    so it raises :class:`~repro.verify.guards.GuardViolation`
+    (``kind="stale-context"``) instead of silently returning garbage.
+    Contexts from *different* plans (different batch shapes, or different
+    engines) do not invalidate each other.
+
+Numerical parity is load-bearing: every op reproduces the exact float
+operation sequence of the pre-plan engine kernels (``matmul(out=)`` +
+in-place bias add is bitwise ``x @ w + b``; fill-then-divide avg-pool
+backward; ``cols @ w_mat.T`` in the transposed-view form), so the float64
+plan stays bit-exact with the legacy autograd forward and the differential
+verifier's budgets carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..verify import guards
+from .kernels import bn_eval_scale_shift, col2im, conv_output_size, im2col_indices
+from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
+from .norm import _BatchNormBase
+from .ops import stable_sigmoid
+
+__all__ = ["CompiledPlan", "compile_plan", "supports", "MODES", "DEFAULT_PLAN_ENTRIES"]
+
+MODES = ("infer", "grad", "train")
+
+# Default capacity of the per-engine compiled-plan LRU (keyed by exact batch
+# shape).  An experiment run touches a handful of shapes per engine: the full
+# batch, the trailing remainder batch, single-example probes, and the
+# corrector's fused ``(n_flagged × m)`` fan-out.
+DEFAULT_PLAN_ENTRIES = 8
+
+_PLANNABLE = (
+    Dense,
+    Conv2D,
+    MaxPool2D,
+    AvgPool2D,
+    Flatten,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    Dropout,
+    _BatchNormBase,
+)
+
+
+def supports(network) -> bool:
+    """Whether every layer of ``network`` lowers to a compiled-plan op."""
+    return all(isinstance(layer, _PLANNABLE) for layer in network.layers)
+
+
+# -- fused elementwise stages ---------------------------------------------------
+#
+# A stage is an elementwise transform with ``apply(src, dst)`` (``dst`` may be
+# ``src`` for in-place fusion onto the producer's buffer) and an in-place
+# ``backward(grad)``.  Stages either ride as ``posts`` on a base op or get
+# wrapped in an _EltOp with a buffer of their own when fusion is unsafe.
+
+
+class _ReluStage:
+    def __init__(self, layer_index: int, shape: tuple[int, ...], track_grad: bool):
+        self.layer_index = layer_index
+        # The sign mask is bound once; computing it from the *input* keeps
+        # ReLU fusable even under a later in-place overwrite of the output.
+        self.mask = np.empty(shape, dtype=bool) if track_grad else None
+
+    def apply(self, src: np.ndarray, dst: np.ndarray) -> None:
+        if self.mask is not None:
+            np.greater(src, 0, out=self.mask)
+        np.maximum(src, 0.0, out=dst)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad *= self.mask
+        return grad
+
+
+class _TanhStage:
+    protects_output = True  # backward reads the output values
+
+    def __init__(self, layer_index: int, track_grad: bool):
+        self.layer_index = layer_index
+        self.track_grad = track_grad
+        self._out = None
+
+    def apply(self, src: np.ndarray, dst: np.ndarray) -> None:
+        np.tanh(src, out=dst)
+        if self.track_grad:
+            self._out = dst
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = self._out
+        grad *= 1.0 - out * out
+        return grad
+
+
+class _SigmoidStage:
+    protects_output = True
+
+    def __init__(self, layer_index: int, track_grad: bool):
+        self.layer_index = layer_index
+        self.track_grad = track_grad
+        self._out = None
+
+    def apply(self, src: np.ndarray, dst: np.ndarray) -> None:
+        np.copyto(dst, stable_sigmoid(src))
+        if self.track_grad:
+            self._out = dst
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = self._out
+        grad *= out
+        grad *= 1.0 - out
+        return grad
+
+
+class _BnEvalStage:
+    """Eval-mode batch norm as an in-place affine; gradients flow through
+    the scale only (running statistics are constants, as in autograd)."""
+
+    def __init__(self, layer_index: int, layer: _BatchNormBase, dtype, track_grad: bool):
+        self.layer_index = layer_index
+        self.layer = layer
+        self.dtype = dtype
+        self.track_grad = track_grad
+        self._scale = None
+
+    def apply(self, src: np.ndarray, dst: np.ndarray) -> None:
+        # Recomputed per call from the live running statistics (the vectors
+        # are tiny); a fit that updates them is picked up immediately.
+        scale64, shift64 = bn_eval_scale_shift(self.layer)
+        shape = self.layer._shape
+        scale = scale64.reshape(shape).astype(self.dtype)
+        np.multiply(src, scale, out=dst)
+        dst += shift64.reshape(shape).astype(self.dtype)
+        if self.track_grad:
+            self._scale = scale
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad *= self._scale
+        return grad
+
+
+class _DropoutTrainStage:
+    def __init__(self, layer_index: int, layer: Dropout):
+        self.layer_index = layer_index
+        self.layer = layer
+        self.keep = 1.0 - layer.rate
+        self._mask = None
+
+    def apply(self, src: np.ndarray, dst: np.ndarray) -> None:
+        # Drawn in float64 from the layer's own generator so the plan
+        # consumes the exact Bernoulli sequence of the autograd path.
+        mask = ((self.layer._rng.random(src.shape) < self.keep) / self.keep).astype(src.dtype)
+        np.multiply(src, mask, out=dst)
+        self._mask = mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad *= self._mask
+        return grad
+
+
+# -- base ops -------------------------------------------------------------------
+
+
+class _Op:
+    """One plan step: a base computation plus in-place fused post stages."""
+
+    def __init__(self, layer_index: int):
+        self.layer_index = layer_index
+        self.posts: list = []
+
+
+class _PassOp(_Op):
+    """Identity (inference/gradient-mode dropout): zero cost, no buffer."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+
+class _ReshapeOp(_Op):
+    """Flatten as a zero-copy view; shapes fixed at compile (n=0 safe)."""
+
+    def __init__(self, layer_index: int, in_shape: tuple[int, ...], out_shape: tuple[int, ...]):
+        super().__init__(layer_index)
+        self.in_shape = in_shape
+        self.out_shape = out_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(self.out_shape)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self.in_shape)
+
+
+class _EltOp(_Op):
+    """An elementwise stage running into its own buffer (unfusable spot)."""
+
+    def __init__(self, layer_index: int, stage, shape: tuple[int, ...], dtype):
+        super().__init__(layer_index)
+        self.stage = stage
+        self.out = np.empty(shape, dtype=dtype)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.stage.apply(x, self.out)
+        return self.out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.stage.backward(grad)
+
+
+class _DenseOp(_Op):
+    def __init__(self, layer_index, layer, n, in_features, dtype, mode, cast, accumulate, first):
+        super().__init__(layer_index)
+        self.weight, self.bias = layer.params["weight"], layer.params["bias"]
+        self.cast = cast
+        self.accumulate = accumulate
+        self.mode = mode
+        self.first = first
+        self.out = np.empty((n, layer.out_features), dtype=dtype)
+        skip_input_grad = mode == "train" and first
+        self.gin = None
+        if mode != "infer" and not skip_input_grad:
+            self.gin = np.empty((n, in_features), dtype=dtype)
+        self._x = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        np.matmul(x, self.cast(self.weight), out=self.out)
+        self.out += self.cast(self.bias)
+        if self.mode == "train":
+            self._x = x
+        return self.out
+
+    def backward(self, grad: np.ndarray):
+        if self.mode == "train":
+            # Fresh arrays, never persistent scratch: adversarial training
+            # accumulates two train_batch calls into the same .grad, which
+            # a reused buffer would alias and double-count.
+            self.accumulate(self.weight, self._x.T @ grad)
+            self.accumulate(self.bias, grad.sum(axis=0))
+            if self.first:
+                return None
+        np.matmul(grad, self.cast(self.weight).T, out=self.gin)
+        return self.gin
+
+
+class _ConvOp(_Op):
+    def __init__(self, layer_index, layer, n, in_shape, dtype, mode, cast, accumulate, first):
+        super().__init__(layer_index)
+        c, h, w = in_shape
+        self.weight, self.bias = layer.params["weight"], layer.params["bias"]
+        self.cast = cast
+        self.accumulate = accumulate
+        self.mode = mode
+        self.first = first
+        self.kernel, self.stride, self.padding = layer.kernel_size, layer.stride, layer.padding
+        self.c_out = layer.out_channels
+        p = self.padding
+        hp, wp = h + 2 * p, w + 2 * p
+        self.idx, self.oh, self.ow = im2col_indices(c, hp, wp, self.kernel, self.stride)
+        self.n = n
+        self.in_flat = c * hp * wp
+        self.pad_shape = (n, c, hp, wp)
+        ckk = c * self.kernel * self.kernel
+        rows = n * self.oh * self.ow
+        # The zeroed border of the padded frame is written once, here; only
+        # the interior is refreshed per call.
+        self.padded = np.zeros(self.pad_shape, dtype=dtype) if p else None
+        self.cols_rows = np.empty((n, self.oh * self.ow * ckk), dtype=dtype)
+        self.cols = self.cols_rows.reshape(rows, ckk)
+        self.mm = np.empty((rows, self.c_out), dtype=dtype)
+        self.mm4 = self.mm.reshape(n, self.oh, self.ow, self.c_out)
+        self.out = np.empty((n, self.c_out, self.oh, self.ow), dtype=dtype)
+        self.gmat4 = self.gmat = self.gcols = self.gx_pad = self.gin = None
+        if mode != "infer":
+            self.gmat4 = np.empty((n, self.oh, self.ow, self.c_out), dtype=dtype)
+            self.gmat = self.gmat4.reshape(rows, self.c_out)
+            if not (mode == "train" and first):
+                self.gcols = np.empty((rows, ckk), dtype=dtype)
+                self.gx_pad = np.empty(self.pad_shape, dtype=dtype)
+                if p:
+                    self.gin = np.empty((n, c, h, w), dtype=dtype)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        p = self.padding
+        if p:
+            self.padded[:, :, p:-p, p:-p] = x
+            xp = self.padded
+        else:
+            xp = x
+        # mode="clip" is an identity for these compile-time in-range indices;
+        # it matters because take's default "raise" mode with an ``out``
+        # buffer goes through a ~2x slower buffered path.
+        np.take(
+            xp.reshape(self.n, self.in_flat), self.idx, axis=1, out=self.cols_rows, mode="clip"
+        )
+        w_mat = self.cast(self.weight).reshape(self.c_out, -1)
+        # The transposed-view matmul form is load-bearing: it is the exact
+        # BLAS call of the legacy kernels, keeping float64 plans bit-exact.
+        np.matmul(self.cols, w_mat.T, out=self.mm)
+        self.mm += self.cast(self.bias)
+        np.copyto(self.out, self.mm4.transpose(0, 3, 1, 2))
+        return self.out
+
+    def backward(self, grad: np.ndarray):
+        np.copyto(self.gmat4, grad.transpose(0, 2, 3, 1))
+        if self.mode == "train":
+            self.accumulate(self.weight, (self.gmat.T @ self.cols).reshape(self.weight.shape))
+            self.accumulate(self.bias, self.gmat.sum(axis=0))
+            if self.first:
+                return None
+        w_mat = self.cast(self.weight).reshape(self.c_out, -1)
+        np.matmul(self.gmat, w_mat, out=self.gcols)
+        col2im(self.gcols, self.pad_shape, self.kernel, self.stride, self.oh, self.ow, out=self.gx_pad)
+        p = self.padding
+        if p:
+            np.copyto(self.gin, self.gx_pad[:, :, p:-p, p:-p])
+            return self.gin
+        return self.gx_pad
+
+
+class _MaxPoolOp(_Op):
+    def __init__(self, layer_index, layer, n, in_shape, dtype, mode):
+        super().__init__(layer_index)
+        c, h, w = in_shape
+        size, stride = layer.size, layer.stride
+        self.size, self.stride = size, stride
+        self.fast = stride == size and h % size == 0 and w % size == 0
+        self.track_grad = mode != "infer"
+        if self.fast:
+            oh, ow = h // size, w // size
+        else:
+            oh = conv_output_size(h, size, stride)
+            ow = conv_output_size(w, size, stride)
+        self.oh, self.ow = oh, ow
+        self.in_full = (n, c, h, w)
+        self.blocks_shape = (n, c, oh, size, ow, size)  # fast path only
+        self.out = np.empty((n, c, oh, ow), dtype=dtype)
+        self.flat = self.arg = self.gflat = self.gin = None
+        self.cols_rows = self.cols = self.rows = self.gcols = self.gx_nc = None
+        if self.fast:
+            if self.track_grad:
+                self.flat = np.empty((n, c, oh, ow, size * size), dtype=dtype)
+                self.arg = np.empty((n, c, oh, ow), dtype=np.intp)
+                self.gflat = np.empty((n, c, oh, ow, size * size), dtype=dtype)
+                self.gin = np.empty((n, c, h, w), dtype=dtype)
+        else:
+            self.idx, _, _ = im2col_indices(1, h, w, size, stride)
+            cells = n * c * oh * ow
+            self.cols_rows = np.empty((n * c, oh * ow * size * size), dtype=dtype)
+            self.cols = self.cols_rows.reshape(cells, size * size)
+            self.out_flat = self.out.reshape(cells)
+            if self.track_grad:
+                self.arg = np.empty(cells, dtype=np.intp)
+                self.rows = np.arange(cells)
+                self.gcols = np.empty((cells, size * size), dtype=dtype)
+                self.gx_nc = np.empty((n * c, 1, h, w), dtype=dtype)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = self.in_full
+        if self.fast:
+            size = self.size
+            if not self.track_grad:
+                # Unrolled strided maximum: each (i, j) slice is one window
+                # position across the whole batch.  Max is an exact selection,
+                # so this is bitwise identical to the axis reduction — and an
+                # order of magnitude faster than np.max over split axes.
+                slices = [
+                    x[:, :, i::size, j::size] for i in range(size) for j in range(size)
+                ]
+                if len(slices) == 1:
+                    np.copyto(self.out, slices[0])
+                else:
+                    np.maximum(slices[0], slices[1], out=self.out)
+                    for block in slices[2:]:
+                        np.maximum(self.out, block, out=self.out)
+                return self.out
+            blocks = x.reshape(self.blocks_shape)
+            flat6 = self.flat.reshape(self.blocks_shape[:3] + (self.ow, self.size, self.size))
+            np.copyto(flat6, blocks.transpose(0, 1, 2, 4, 3, 5))
+            np.argmax(self.flat, axis=-1, out=self.arg)
+            np.max(self.flat, axis=-1, out=self.out)
+            return self.out
+        # mode="clip": identity for in-range indices, skips the slow
+        # buffered path take's default "raise" mode takes with ``out``.
+        np.take(x.reshape(n * c, h * w), self.idx, axis=1, out=self.cols_rows, mode="clip")
+        if self.track_grad:
+            np.argmax(self.cols, axis=1, out=self.arg)
+        np.max(self.cols, axis=1, out=self.out_flat)
+        return self.out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self.in_full
+        size = self.size
+        if self.fast:
+            self.gflat.fill(0.0)
+            np.put_along_axis(self.gflat, self.arg[..., None], grad[..., None], axis=-1)
+            gin6 = self.gin.reshape(self.blocks_shape)
+            gsrc = self.gflat.reshape(n, c, self.oh, self.ow, size, size)
+            np.copyto(gin6, gsrc.transpose(0, 1, 2, 4, 3, 5))
+            return self.gin
+        self.gcols.fill(0.0)
+        self.gcols[self.rows, self.arg] = grad.reshape(len(self.rows))
+        col2im(self.gcols, (n * c, 1, h, w), size, self.stride, self.oh, self.ow, out=self.gx_nc)
+        return self.gx_nc.reshape(self.in_full)
+
+
+class _AvgPoolOp(_Op):
+    def __init__(self, layer_index, layer, n, in_shape, dtype, mode):
+        super().__init__(layer_index)
+        c, h, w = in_shape
+        size = layer.size
+        self.blocks_shape = (n, c, h // size, size, w // size, size)
+        self.out = np.empty((n, c, h // size, w // size), dtype=dtype)
+        self.divisor = np.dtype(dtype).type(size * size)
+        self.gin = np.empty((n, c, h, w), dtype=dtype) if mode != "infer" else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        blocks = x.reshape(self.blocks_shape)
+        np.mean(blocks, axis=(3, 5), dtype=self.out.dtype, out=self.out)
+        return self.out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        gin6 = self.gin.reshape(self.blocks_shape)
+        # Fill then divide (not a reciprocal multiply): the per-element op
+        # sequence of the legacy kernel, preserved for bitwise parity.
+        gin6[:] = grad[:, :, :, None, :, None]
+        self.gin /= self.divisor
+        return self.gin
+
+
+class _BnTrainOp(_Op):
+    """Training-mode batch norm: batch statistics, float64 running updates."""
+
+    def __init__(self, layer_index, layer, n, in_shape, dtype, cast, accumulate):
+        super().__init__(layer_index)
+        self.layer = layer
+        self.gamma, self.beta = layer.params["gamma"], layer.params["beta"]
+        self.cast = cast
+        self.accumulate = accumulate
+        full = (n,) + tuple(in_shape)
+        self.xhat = np.empty(full, dtype=dtype)
+        self.out = np.empty(full, dtype=dtype)
+        self._inv_std = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        axes, shape = layer._axes, layer._shape
+        mean = x.mean(axis=axes)
+        var = x.var(axis=axes)
+        momentum = layer.momentum
+        layer.running_mean = momentum * layer.running_mean + (1 - momentum) * mean.astype(
+            np.float64
+        )
+        layer.running_var = momentum * layer.running_var + (1 - momentum) * var.astype(np.float64)
+        inv_std = (1.0 / np.sqrt(var + layer.eps)).reshape(shape).astype(x.dtype)
+        np.subtract(x, mean.reshape(shape), out=self.xhat)
+        self.xhat *= inv_std
+        np.multiply(self.xhat, self.cast(self.gamma).reshape(shape), out=self.out)
+        self.out += self.cast(self.beta).reshape(shape)
+        self._inv_std = inv_std
+        return self.out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        axes, shape = layer._axes, layer._shape
+        self.accumulate(self.gamma, (grad * self.xhat).sum(axis=axes))
+        self.accumulate(self.beta, grad.sum(axis=axes))
+        grad *= self.cast(self.gamma).reshape(shape) * self._inv_std
+        return grad
+
+
+# -- the plan -------------------------------------------------------------------
+
+
+class CompiledPlan:
+    """A network lowered for one exact ``(batch shape, dtype, mode)``.
+
+    Instances are built by :func:`compile_plan` and cached per engine.  All
+    returned arrays are plan-owned buffers overwritten by the next call in
+    the same mode — callers (the engines) copy at their public boundaries.
+    """
+
+    def __init__(self, network, batch_shape, dtype, mode, cast, accumulate=None):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if mode == "train" and accumulate is None:
+            raise ValueError("train-mode plans need an accumulate(param, grad) hook")
+        self.network = network
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        self.dtype = np.dtype(dtype)
+        self.mode = mode
+        self.generation = 0
+        self.steps = _build(network, self.batch_shape, self.dtype, mode, cast, accumulate)
+        self._seed = None
+        if mode != "infer":
+            out_full = (self.batch_shape[0],) + tuple(network.output_shape)
+            self._seed = np.empty(out_full, dtype=self.dtype)
+
+    @property
+    def arena_bytes(self) -> int:
+        """Total bytes of preallocated activation/scratch/gradient buffers."""
+        total = 0
+        for op in self.steps:
+            for value in vars(op).values():
+                if isinstance(value, np.ndarray) and value.base is None:
+                    total += value.nbytes
+            for post in op.posts:
+                for value in vars(post).values():
+                    if isinstance(value, np.ndarray) and value.base is None:
+                        total += value.nbytes
+        return total
+
+    def _execute(self, x: np.ndarray) -> np.ndarray:
+        buf = x
+        for op in self.steps:
+            buf = op.forward(buf)
+            for post in op.posts:
+                post.apply(buf, buf)
+        return buf
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Inference forward.  Returns a plan-owned buffer."""
+        return self._execute(x)
+
+    def run_forward(self, x: np.ndarray) -> tuple[np.ndarray, int]:
+        """Gradient/training forward; returns ``(logits buffer, generation)``.
+
+        The generation stamps the stashed activations: pass it back to
+        :meth:`run_backward`, which refuses to consume a stale context.
+        """
+        self.generation += 1
+        return self._execute(x), self.generation
+
+    def run_backward(self, seed: np.ndarray, generation: int):
+        """Replay the stack in reverse for a logits cotangent ``seed``.
+
+        ``grad`` mode returns the input gradient (plan-owned buffer);
+        ``train`` mode accumulates into parameter ``.grad`` slots and
+        returns ``None``.  The caller's seed is copied before any in-place
+        transform, so reused seed arrays (the Jacobian loop) stay intact.
+        """
+        if generation != self.generation:
+            guards.stale_context(
+                f"CompiledPlan[{self.mode}].run_backward",
+                f"context generation {generation} != plan generation {self.generation}; "
+                "a later forward overwrote the stashed activations",
+            )
+        np.copyto(self._seed, seed)
+        grad = self._seed
+        for op in reversed(self.steps):
+            for post in reversed(op.posts):
+                grad = post.backward(grad)
+            grad = op.backward(grad)
+            if grad is None:
+                return None
+        return grad
+
+    def layer_outputs(self, x: np.ndarray) -> list[np.ndarray]:
+        """Per-layer activations as fresh copies, aligned with ``network.layers``.
+
+        Fused stages are applied one at a time with a snapshot between, so
+        the differential verifier can compare every layer — including ones
+        whose intermediate buffer the fused execution overwrites in place.
+        """
+        outs: list[np.ndarray] = []
+        buf = x
+        for op in self.steps:
+            if self.mode != "infer":
+                self.generation += 1  # stashes are being overwritten
+            buf = op.forward(buf)
+            outs.append(buf.copy())
+            for post in op.posts:
+                post.apply(buf, buf)
+                outs.append(buf.copy())
+        return outs
+
+
+def compile_plan(network, batch_shape, dtype, mode, cast, accumulate=None) -> CompiledPlan:
+    """Compile ``network`` for one exact batch shape, dtype and mode.
+
+    ``cast`` maps a parameter :class:`~repro.nn.tensor.Tensor` to its
+    engine-dtype array (pass the engine's staleness-checked cast cache);
+    ``accumulate(param, grad)`` is required in ``train`` mode.  Raises
+    :class:`ValueError` for networks :func:`supports` rejects.
+    """
+    return CompiledPlan(network, batch_shape, dtype, mode, cast, accumulate)
+
+
+# -- the compiler ---------------------------------------------------------------
+
+
+def _build(network, batch_shape, dtype, mode, cast, accumulate):
+    n = batch_shape[0]
+    shape = tuple(batch_shape[1:])
+    steps: list[_Op] = []
+    # Whether the current buffer is plan-owned and safe for in-place fusion.
+    # False at the head (the caller's input must never be mutated) and after
+    # a protected tanh/sigmoid output in grad/train mode.
+    owned = False
+    track_grad = mode != "infer"
+
+    def attach(stage) -> None:
+        """Fuse onto the current step, or give the stage its own buffer."""
+        nonlocal owned
+        if owned and steps:
+            steps[-1].posts.append(stage)
+        else:
+            steps.append(_EltOp(stage.layer_index, stage, (n,) + shape, dtype))
+            owned = True
+
+    for index, layer in enumerate(network.layers):
+        first = index == 0
+        if isinstance(layer, Dense):
+            (in_features,) = shape
+            steps.append(
+                _DenseOp(index, layer, n, in_features, dtype, mode, cast, accumulate, first)
+            )
+            shape = (layer.out_features,)
+            owned = True
+        elif isinstance(layer, Conv2D):
+            steps.append(_ConvOp(index, layer, n, shape, dtype, mode, cast, accumulate, first))
+            shape = layer.output_shape(shape)
+            owned = True
+        elif isinstance(layer, MaxPool2D):
+            steps.append(_MaxPoolOp(index, layer, n, shape, dtype, mode))
+            shape = layer.output_shape(shape)
+            owned = True
+        elif isinstance(layer, AvgPool2D):
+            steps.append(_AvgPoolOp(index, layer, n, shape, dtype, mode))
+            shape = layer.output_shape(shape)
+            owned = True
+        elif isinstance(layer, Flatten):
+            features = 1
+            for dim in shape:
+                features *= int(dim)
+            steps.append(_ReshapeOp(index, (n,) + shape, (n, features)))
+            shape = (features,)
+            # A view: ownership (and protection) of the underlying buffer
+            # carries through unchanged.
+        elif isinstance(layer, ReLU):
+            attach(_ReluStage(index, (n,) + shape, track_grad))
+        elif isinstance(layer, (Tanh, Sigmoid)):
+            stage_cls = _TanhStage if isinstance(layer, Tanh) else _SigmoidStage
+            stage = stage_cls(index, track_grad)
+            if mode == "infer":
+                attach(stage)
+            else:
+                # Protected: the backward reads these output values, so the
+                # stage gets a buffer of its own (never fused onto the
+                # producer) and nothing may fuse over it afterwards.
+                steps.append(_EltOp(index, stage, (n,) + shape, dtype))
+                owned = False
+        elif isinstance(layer, Dropout):
+            if mode == "train" and layer.rate > 0.0:
+                attach(_DropoutTrainStage(index, layer))
+            else:
+                steps.append(_PassOp(index))
+        elif isinstance(layer, _BatchNormBase):
+            if mode == "train":
+                steps.append(_BnTrainOp(index, layer, n, shape, dtype, cast, accumulate))
+                owned = True
+            else:
+                attach(_BnEvalStage(index, layer, dtype, track_grad))
+        else:
+            raise ValueError(
+                f"cannot compile a plan for layer type {type(layer).__name__}; "
+                "check plan.supports(network) first"
+            )
+
+    return steps

@@ -10,23 +10,26 @@ autoencoder, the detector MLP and the black-box substitute fits.
 
 The legacy path rebuilds a full autograd :class:`~repro.nn.tensor.Tensor`
 graph per mini-batch (one Python closure per op, one float64 temporary per
-edge).  The engine instead runs hand-written, dtype-configurable (float32
-by default) forward and backward kernel pairs that accumulate ``∂loss/∂θ``
+edge).  The engine instead executes train-mode
+:class:`~repro.nn.plan.CompiledPlan` objects — the layer stack lowered
+once per batch shape into dtype-configurable (float32 by default) raw-NumPy
+ops with arena-preallocated buffers — that accumulate ``∂loss/∂θ``
 straight into each parameter's ``.grad`` buffer:
 
-Training-mode kernels
-    Unlike the sibling engines, forward kernels here run the *training*
-    semantics: dropout draws its inverted mask from the layer's own
-    generator (so the engine is seed-for-seed comparable with the autograd
-    path), and batch norm computes batch statistics and updates the
-    float64 running estimates in place.
+Training-mode plans
+    Unlike the sibling engines, plans here run the *training* semantics:
+    dropout draws its inverted mask from the layer's own generator (so the
+    engine is seed-for-seed comparable with the autograd path), and batch
+    norm computes batch statistics and updates the float64 running
+    estimates in place.  Plans live in a bounded per-engine LRU keyed by
+    the exact batch shape (``plan_entries``).
 
 Shared im2col machinery, extended with the weight contraction
-    Convolutions gather patch matrices through the same module-level
-    geometry-keyed integer index cache as the gradient engine
-    (:func:`repro.nn.grad_engine.im2col_indices`); the backward kernel
-    additionally stashes the patch matrix so the weight gradient is the
-    single BLAS contraction ``grad_matᵀ @ cols``.
+    Convolutions gather patch matrices through the bounded geometry-keyed
+    index cache shared by the whole engine trilogy
+    (:data:`repro.nn.kernels.IM2COL_CACHE`); the conv backward stashes the
+    patch matrix so the weight gradient is the single BLAS contraction
+    ``grad_matᵀ @ cols``.
 
 Native losses
     A :class:`TrainLoss` bundles the float64 ``(value, ∂loss/∂logits)``
@@ -55,6 +58,7 @@ Parameter binding
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, replace
 from typing import TYPE_CHECKING, Callable
@@ -62,11 +66,9 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..verify import guards
-from .grad_engine import _col2im, im2col_indices
-from .layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
 from .losses import cross_entropy, mse, one_hot, soft_cross_entropy
-from .norm import _BatchNormBase
-from .ops import stable_sigmoid
+from .plan import DEFAULT_PLAN_ENTRIES, CompiledPlan
+from .plan import supports as plan_supports
 from .tensor import Tensor
 
 if TYPE_CHECKING:  # pragma: no cover - circular import avoided at runtime
@@ -88,6 +90,8 @@ class TrainingCounters:
 
     batches: int = 0  # train_batch calls answered
     examples: int = 0  # rows pushed through a fused train step
+    plan_hits: int = 0  # batches served by a cached compiled plan
+    plan_misses: int = 0  # plan compilations (new batch shape, or cache off)
     seconds: float = 0.0  # wall clock inside forward/backward kernels
     fallbacks: int = 0  # batches served by the float64 autograd path
 
@@ -178,6 +182,22 @@ class _FallbackTrainContext:
         return float(loss_t.data)
 
 
+class _NativeTrainContext:
+    """Handle onto one compiled train-mode forward, consumable by backward.
+
+    Carries the plan plus the generation stamp of the forward that filled
+    its buffers; a newer forward through the same plan makes the context
+    stale (the plan raises on use — see :func:`repro.verify.guards.stale_context`).
+    """
+
+    __slots__ = ("plan", "generation", "batch_len")
+
+    def __init__(self, plan: CompiledPlan, generation: int, batch_len: int):
+        self.plan = plan
+        self.generation = generation
+        self.batch_len = batch_len
+
+
 class TrainingEngine:
     """Fused, instrumented, dtype-configurable parameter gradients for one network.
 
@@ -193,37 +213,51 @@ class TrainingEngine:
         doubles BLAS throughput; ``float64`` tracks the autograd reference
         to ~1e-10.
     native:
-        ``False`` skips kernel compilation, forcing every batch onto the
+        ``False`` skips plan compilation, forcing every batch onto the
         float64 autograd fallback — the degradation ladder's reference
         rung (see :mod:`repro.runner.policy`).
+    plan_entries:
+        Capacity of the compiled-plan LRU (keyed by exact batch shape).
+        ``0`` keeps the plan layer but recompiles per call.
     """
 
     def __init__(
-        self, network: "Network", dtype: np.dtype | type = np.float32, native: bool = True
+        self,
+        network: "Network",
+        dtype: np.dtype | type = np.float32,
+        native: bool = True,
+        plan_entries: int = DEFAULT_PLAN_ENTRIES,
     ):
+        if plan_entries < 0:
+            raise ValueError("plan_entries must be >= 0")
         self.network = network
         self.dtype = np.dtype(dtype)
         self.forced_fallback = not native
+        self.plan_entries = plan_entries
         self.counters = TrainingCounters()
         # param-id -> (source array ref, version, cast copy).  When the
         # parameters are bound to the engine dtype the "cast" is the live
         # array itself, so optimiser updates need no copy at all.
         self._casts: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
-        self._kernels = self._compile() if native else None
+        # batch shape -> CompiledPlan (train mode, LRU); plans depend only
+        # on shapes — parameter changes flow through the cast cache.
+        self._plans: "OrderedDict[tuple[int, ...], CompiledPlan]" = OrderedDict()
+        self._native = bool(native) and plan_supports(network)
 
     # -- public API -----------------------------------------------------------
 
     @property
     def supports_native(self) -> bool:
-        """Whether every layer runs on the fused raw-NumPy kernels."""
-        return self._kernels is not None
+        """Whether every layer runs on the compiled raw-NumPy plans."""
+        return self._native
 
     def reset_counters(self) -> None:
         self.counters = TrainingCounters()
 
     def invalidate(self) -> None:
-        """Drop every cached parameter cast (index caches are geometry-keyed)."""
+        """Drop every cached parameter cast and compiled plan."""
         self._casts.clear()
+        self._plans.clear()
 
     @contextmanager
     def parameters_bound(self):
@@ -257,29 +291,29 @@ class TrainingEngine:
         """
         x = np.ascontiguousarray(np.asarray(x), dtype=self.dtype)
         start = time.perf_counter()
-        if self._kernels is None:
+        if not self._native:
             ctx: object = _FallbackTrainContext(self.network, x)
             out = ctx.logits.data.astype(self.dtype)
         else:
-            layer_ctxs = []
-            out = x
-            for forward_kernel, _ in self._kernels:
-                out, layer_ctx = forward_kernel(out)
-                layer_ctxs.append(layer_ctx)
-            ctx = layer_ctxs
+            plan = self._plan_for(x.shape)
+            buffer, generation = plan.run_forward(x)
+            # Boundary copy: the plan reuses the logits buffer on the next
+            # same-shape forward; callers own what they are handed.
+            out = buffer.copy()
+            ctx = _NativeTrainContext(plan, generation, len(x))
         self.counters.seconds += time.perf_counter() - start
         return out, ctx
 
     def backward(self, ctx: object, seed: np.ndarray) -> None:
         """Accumulate ``∂Σ(seed·Z)/∂θ`` into every parameter's ``.grad``.
 
-        Native contexts replay the kernel stack in reverse; the input
+        Native contexts replay the compiled plan in reverse; the input
         gradient is discarded (training needs only parameter gradients).
         """
+        assert isinstance(ctx, _NativeTrainContext)
         start = time.perf_counter()
-        grad = np.ascontiguousarray(np.asarray(seed), dtype=self.dtype)
-        for (_, backward_kernel), layer_ctx in zip(reversed(self._kernels), reversed(ctx)):
-            grad = backward_kernel(grad, layer_ctx)
+        seed = np.ascontiguousarray(np.asarray(seed), dtype=self.dtype)
+        ctx.plan.run_backward(seed, ctx.generation)
         self.counters.seconds += time.perf_counter() - start
 
     def train_batch(
@@ -332,199 +366,24 @@ class TrainingEngine:
                 guards.check_finite("TrainingEngine.train_batch grad", param.grad)
                 guards.check_update_safe("TrainingEngine.train_batch", param)
 
-    # -- kernel compilation ----------------------------------------------------
+    # -- plan cache ------------------------------------------------------------
 
-    def _compile(self):
-        kernels = []
-        for index, layer in enumerate(self.network.layers):
-            # The input gradient of the first layer has no consumer in
-            # training, so its backward kernel skips computing it.
-            pair = self._kernel_for(layer, first=index == 0)
-            if pair is None:
-                return None
-            kernels.append(pair)
-        return kernels
-
-    def _kernel_for(self, layer, first: bool = False):
-        if isinstance(layer, Dense):
-            return self._dense_kernel(layer, first)
-        if isinstance(layer, Conv2D):
-            return self._conv_kernel(layer, first)
-        if isinstance(layer, MaxPool2D):
-            return self._max_pool_kernel(layer)
-        if isinstance(layer, AvgPool2D):
-            return self._avg_pool_kernel(layer)
-        if isinstance(layer, Flatten):
-            return (
-                lambda x: (x.reshape(len(x), int(np.prod(x.shape[1:]))), x.shape),
-                lambda grad, shape: grad.reshape(shape),
-            )
-        if isinstance(layer, ReLU):
-            return (
-                lambda x: (np.maximum(x, 0.0, dtype=x.dtype), x > 0),
-                lambda grad, mask: grad * mask,
-            )
-        if isinstance(layer, Tanh):
-            return (
-                lambda x: ((out := np.tanh(x)), out),
-                lambda grad, out: grad * (1.0 - out * out),
-            )
-        if isinstance(layer, Sigmoid):
-            return (
-                lambda x: ((out := stable_sigmoid(x)), out),
-                lambda grad, out: grad * out * (1.0 - out),
-            )
-        if isinstance(layer, Dropout):
-            return self._dropout_kernel(layer)
-        if isinstance(layer, _BatchNormBase):
-            return self._batchnorm_kernel(layer)
-        return None
-
-    def _dense_kernel(self, layer: Dense, first: bool = False):
-        weight, bias = layer.params["weight"], layer.params["bias"]
-
-        def forward(x):
-            return x @ self._param(weight) + self._param(bias), x
-
-        def backward(grad, x):
-            self._accumulate(weight, x.T @ grad)
-            self._accumulate(bias, grad.sum(axis=0))
-            return None if first else grad @ self._param(weight).T
-
-        return forward, backward
-
-    def _conv_kernel(self, layer: Conv2D, first: bool = False):
-        weight, bias = layer.params["weight"], layer.params["bias"]
-        stride, padding, kernel = layer.stride, layer.padding, layer.kernel_size
-        c_out = layer.out_channels
-
-        def forward(x):
-            if padding:
-                x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-            n, c, h, w = x.shape
-            idx, out_h, out_w = im2col_indices(c, h, w, kernel, stride)
-            cols = np.take(x.reshape(n, c * h * w), idx, axis=1).reshape(
-                n * out_h * out_w, c * kernel * kernel
-            )
-            w_mat = self._param(weight).reshape(c_out, -1)
-            out = cols @ w_mat.T + self._param(bias)
-            out = np.ascontiguousarray(out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
-            # Stash the patch matrix: the weight gradient is one contraction
-            # against it, which is the whole point of this engine.
-            return out, (cols, (n, c, h, w))
-
-        def backward(grad, ctx):
-            cols, (n, c, h, w) = ctx
-            _, out_h, out_w = im2col_indices(c, h, w, kernel, stride)
-            grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
-            self._accumulate(weight, (grad_mat.T @ cols).reshape(weight.shape))
-            self._accumulate(bias, grad_mat.sum(axis=0))
-            if first:
-                return None
-            grad_cols = grad_mat @ self._param(weight).reshape(c_out, -1)
-            gx = _col2im(grad_cols, (n, c, h, w), kernel, stride, out_h, out_w)
-            if padding:
-                gx = gx[:, :, padding:-padding, padding:-padding]
-            return np.ascontiguousarray(gx)
-
-        return forward, backward
-
-    def _max_pool_kernel(self, layer: MaxPool2D):
-        size, stride = layer.size, layer.stride
-
-        def forward(x):
-            n, c, h, w = x.shape
-            if stride == size and h % size == 0 and w % size == 0:
-                out_h, out_w = h // size, w // size
-                flat = x.reshape(n, c, out_h, size, out_w, size).transpose(0, 1, 2, 4, 3, 5)
-                flat = flat.reshape(n, c, out_h, out_w, size * size)
-                arg = flat.argmax(axis=-1)
-                out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
-                return np.ascontiguousarray(out), ("fast", arg, x.shape)
-            idx, out_h, out_w = im2col_indices(1, h, w, size, stride)
-            cols = np.take(x.reshape(n * c, h * w), idx, axis=1).reshape(-1, size * size)
-            arg = cols.argmax(axis=1)
-            out = cols[np.arange(cols.shape[0]), arg].reshape(n, c, out_h, out_w)
-            return out, ("general", arg, x.shape)
-
-        def backward(grad, ctx):
-            kind, arg, x_shape = ctx
-            n, c, h, w = x_shape
-            if kind == "fast":
-                out_h, out_w = h // size, w // size
-                gflat = np.zeros((n, c, out_h, out_w, size * size), dtype=grad.dtype)
-                np.put_along_axis(gflat, arg[..., None], grad[..., None], axis=-1)
-                gx = gflat.reshape(n, c, out_h, out_w, size, size).transpose(0, 1, 2, 4, 3, 5)
-                return np.ascontiguousarray(gx.reshape(x_shape))
-            _, out_h, out_w = im2col_indices(1, h, w, size, stride)
-            gcols = np.zeros((n * c * out_h * out_w, size * size), dtype=grad.dtype)
-            gcols[np.arange(gcols.shape[0]), arg] = grad.reshape(-1)
-            gx = _col2im(gcols, (n * c, 1, h, w), size, stride, out_h, out_w)
-            return gx.reshape(x_shape)
-
-        return forward, backward
-
-    def _avg_pool_kernel(self, layer: AvgPool2D):
-        size = layer.size
-
-        def forward(x):
-            n, c, h, w = x.shape
-            blocks = x.reshape(n, c, h // size, size, w // size, size)
-            return blocks.mean(axis=(3, 5), dtype=x.dtype), x.shape
-
-        def backward(grad, x_shape):
-            spread = np.repeat(np.repeat(grad, size, axis=2), size, axis=3)
-            return spread / grad.dtype.type(size * size)
-
-        return forward, backward
-
-    def _dropout_kernel(self, layer: Dropout):
-        keep = 1.0 - layer.rate
-
-        def forward(x):
-            if layer.rate <= 0.0:
-                return x, None
-            # Draw in float64 from the layer's own generator so the engine
-            # consumes the exact Bernoulli sequence of the autograd path
-            # (seed-for-seed comparability of whole training runs).
-            mask = ((layer._rng.random(x.shape) < keep) / keep).astype(x.dtype)
-            return x * mask, mask
-
-        def backward(grad, mask):
-            return grad if mask is None else grad * mask
-
-        return forward, backward
-
-    def _batchnorm_kernel(self, layer: _BatchNormBase):
-        gamma, beta = layer.params["gamma"], layer.params["beta"]
-
-        def forward(x):
-            axes, shape = layer._axes, layer._shape
-            mean = x.mean(axis=axes)
-            var = x.var(axis=axes)
-            # Running statistics stay float64 module state, as in autograd.
-            momentum = layer.momentum
-            layer.running_mean = momentum * layer.running_mean + (1 - momentum) * mean.astype(
-                np.float64
-            )
-            layer.running_var = momentum * layer.running_var + (1 - momentum) * var.astype(
-                np.float64
-            )
-            inv_std = (1.0 / np.sqrt(var + layer.eps)).reshape(shape).astype(x.dtype)
-            xhat = (x - mean.reshape(shape)) * inv_std
-            out = xhat * self._param(gamma).reshape(shape) + self._param(beta).reshape(shape)
-            # Batch statistics are treated as constants in backward — the
-            # same simplification the autograd layer makes.
-            return out, (xhat, inv_std)
-
-        def backward(grad, ctx):
-            xhat, inv_std = ctx
-            axes, shape = layer._axes, layer._shape
-            self._accumulate(gamma, (grad * xhat).sum(axis=axes))
-            self._accumulate(beta, grad.sum(axis=axes))
-            return grad * (self._param(gamma).reshape(shape) * inv_std)
-
-        return forward, backward
+    def _plan_for(self, shape: tuple[int, ...]) -> CompiledPlan:
+        key = tuple(shape)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.counters.plan_hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.counters.plan_misses += 1
+        plan = CompiledPlan(
+            self.network, key, self.dtype, "train", self._param, accumulate=self._accumulate
+        )
+        if self.plan_entries > 0:
+            self._plans[key] = plan
+            while len(self._plans) > self.plan_entries:
+                self._plans.popitem(last=False)
+        return plan
 
     # -- parameter reads and gradient accumulation -----------------------------
 

@@ -5,9 +5,9 @@ computation paths over the same :class:`~repro.nn.network.Network`:
 
 1. **float64 autograd** — ``network.forward`` + ``Tensor.backward``, the
    reference semantics;
-2. **InferenceEngine** — fused raw-NumPy forward kernels;
-3. **GradientEngine** — fused forward + input-gradient kernels;
-4. **TrainingEngine** — fused forward + loss + parameter-gradient kernels.
+2. **InferenceEngine** — compiled-plan raw-NumPy forward;
+3. **GradientEngine** — compiled forward + input-gradient plans;
+4. **TrainingEngine** — compiled forward + loss + parameter-gradient plans.
 
 This module builds randomized layer stacks and inputs (including the edge
 flavours that historically diverged: sigmoid/tanh saturation at large
@@ -15,7 +15,12 @@ magnitudes, quantized inputs that tie max-pool windows, batch-of-one
 batch-norm), pushes each case down all four paths, and folds the results
 into a :class:`~repro.verify.report.Report` — per-layer max ULP distance
 plus path-level relative error against the budget (1e-4 in float32, 1e-10
-in float64).  Every comparison runs with runtime guards enforced and with
+in float64).  Because the compiled plans reuse arena buffers across calls,
+the differ additionally replays the deterministic paths (a second
+same-input call after pushing a different batch shape through the plan
+cache) under a **zero** budget: any cross-call state leak in a reused
+buffer is a bitwise difference.  Every comparison runs with runtime
+guards enforced and with
 overflow/invalid/divide trapped as hard errors, so a kernel that saturates
 through ``exp`` or emits a NaN fails the case even when the final numbers
 happen to agree.
@@ -273,9 +278,9 @@ def diff_case(case: Case, dtype, report: Report | None = None, label: str = "") 
         # Path 2: InferenceEngine, layer by layer then end to end.
         engine = InferenceEngine(network, dtype=dtype, memo_entries=0)
         if engine.supports_native:
-            out = np.ascontiguousarray(x, dtype=dtype)
-            for layer, kernel, ref in zip(network.layers, engine._kernels, reference):
-                out = kernel(out)
+            x_cast = np.ascontiguousarray(x, dtype=dtype)
+            plan = engine._plan_for(x_cast.shape)
+            for layer, out, ref in zip(network.layers, plan.layer_outputs(x_cast), reference):
                 report.record(
                     case_label,
                     "infer-fwd",
@@ -293,6 +298,22 @@ def diff_case(case: Case, dtype, report: Report | None = None, label: str = "") 
             _rel_error(logits, ref_logits),
             ulp_distance(logits, ref_logits),
             budget,
+        )
+        # Replay determinism: run a different batch shape through the same
+        # engine (exercising a second cached plan), then repeat the original
+        # call.  The arena buffers are reused across calls, so any cross-call
+        # state leak shows up as a bitwise difference — the budget is 0.
+        if len(x) > 1:
+            engine.logits(x[:1], memo=False)
+        replay = engine.logits(x, memo=False)
+        report.record(
+            case_label,
+            "infer-replay",
+            "network",
+            dtype_name,
+            _rel_error(replay, logits),
+            ulp_distance(replay, logits),
+            0.0,
         )
 
         # Path 3: GradientEngine forward + backward against autograd grads.
@@ -318,6 +339,20 @@ def diff_case(case: Case, dtype, report: Report | None = None, label: str = "") 
             _rel_error(input_grad, ref_grad),
             ulp_distance(input_grad, ref_grad),
             budget,
+        )
+        # Replay determinism through the gradient plan's reused buffers:
+        # eval-mode semantics are deterministic, so a second forward +
+        # backward must reproduce both results bitwise (budget 0).
+        g_logits2, ctx2 = gradient.forward(x)
+        input_grad2 = gradient.backward(ctx2, cotangent.astype(dtype))
+        report.record(
+            case_label,
+            "grad-replay",
+            "network",
+            dtype_name,
+            max(_rel_error(g_logits2, g_logits), _rel_error(input_grad2, input_grad)),
+            max(ulp_distance(g_logits2, g_logits), ulp_distance(input_grad2, input_grad)),
+            0.0,
         )
 
         # Path 4: TrainingEngine parameter gradients, loss and running stats.

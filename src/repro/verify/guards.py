@@ -37,6 +37,7 @@ __all__ = [
     "check_dtype",
     "check_output",
     "check_update_safe",
+    "stale_context",
 ]
 
 _ENV_VAR = "REPRO_VERIFY"
@@ -48,9 +49,9 @@ class GuardViolation(RuntimeError):
 
     Carries structured fields for the runner's failure ledger: ``where``
     names the boundary that tripped, ``kind`` the invariant class
-    (``"nonfinite"``, ``"dtype"`` or ``"aliasing"``) — so a journaled
-    :class:`~repro.runner.policy.UnitFailure` is machine-readable, not
-    just a message string.
+    (``"nonfinite"``, ``"dtype"``, ``"aliasing"`` or ``"stale-context"``)
+    — so a journaled :class:`~repro.runner.policy.UnitFailure` is
+    machine-readable, not just a message string.
     """
 
     def __init__(self, message: str, where: str = "", kind: str = ""):
@@ -137,3 +138,19 @@ def check_update_safe(where: str, param) -> None:
             where=where,
             kind="aliasing",
         )
+
+
+def stale_context(where: str, detail: str = "") -> None:
+    """Trap a gradient context outlived by a newer forward pass.
+
+    Compiled plans (:mod:`repro.nn.plan`) reuse their activation buffers
+    across calls, so a backward seeded with a context from an *earlier*
+    forward would silently read the newer forward's activations.  Unlike
+    the other guards this one raises **unconditionally** — the result would
+    be wrong data, not merely unchecked data — so it is not gated on
+    :func:`active`.
+    """
+    message = f"{where}: gradient context is stale"
+    if detail:
+        message = f"{message} ({detail})"
+    raise GuardViolation(message, where=where, kind="stale-context")

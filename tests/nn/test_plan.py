@@ -1,0 +1,218 @@
+"""Tests for the compiled-plan layer: caching, invalidation, reuse hazards."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GradientEngine, InferenceEngine, SGD, Tensor, TrainingEngine, no_grad
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Network
+from repro.nn.plan import CompiledPlan, compile_plan, supports
+from repro.nn.train import TrainConfig, fit
+from repro.verify.guards import GuardViolation
+
+NUM_CLASSES = 3
+INPUT_SHAPE = (1, 6, 6)
+
+
+def _network(seed=0):
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2D(1, 2, 3, rng, stride=1, padding=1),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(2 * 3 * 3, NUM_CLASSES, rng),
+    ]
+    return Network(layers, INPUT_SHAPE)
+
+
+def _batch(n=4, seed=1):
+    return np.random.default_rng(seed).normal(size=(n,) + INPUT_SHAPE)
+
+
+def _reference_logits(network, x):
+    with no_grad():
+        return network.forward(Tensor(np.asarray(x, dtype=np.float64))).data
+
+
+class TestPlanCacheKeys:
+    def test_batch_shape_change_misses_and_refreshes(self):
+        engine = InferenceEngine(_network(), memo_entries=0)
+        engine.logits(_batch(4), memo=False)
+        assert engine.counters.plan_misses == 1
+        engine.logits(_batch(4, seed=9), memo=False)  # same shape, new content
+        assert engine.counters.plan_hits == 1
+        engine.logits(_batch(2), memo=False)  # new shape compiles a new plan
+        assert engine.counters.plan_misses == 2
+
+    def test_plan_lru_is_bounded(self):
+        engine = InferenceEngine(_network(), memo_entries=0, plan_entries=2)
+        for n in (1, 2, 3):
+            engine.logits(_batch(n), memo=False)
+        assert len(engine._plans) == 2
+        engine.logits(_batch(1), memo=False)  # n=1 was evicted: recompile
+        assert engine.counters.plan_misses == 4
+
+    def test_plan_entries_zero_recompiles_per_call(self):
+        engine = InferenceEngine(_network(), memo_entries=0, plan_entries=0)
+        x = _batch(3)
+        first = engine.logits(x, memo=False)
+        second = engine.logits(x, memo=False)
+        assert engine.counters.plan_misses == 2 and engine.counters.plan_hits == 0
+        np.testing.assert_array_equal(first, second)
+
+    def test_negative_plan_entries_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceEngine(_network(), plan_entries=-1)
+
+
+class TestParameterInvalidation:
+    def test_inplace_sgd_step_changes_compiled_results(self):
+        # In-place optimiser updates bump Tensor.version; the identity+
+        # version-checked cast cache must feed the *new* weights into the
+        # already-compiled plan.
+        network = _network()
+        engine = network.engine
+        x = _batch(4)
+        before = engine.logits(x).copy()
+        trainer = TrainingEngine(network, dtype=np.float64)
+        optimizer = SGD(network.parameters(), lr=0.5)
+        network.zero_grad()
+        trainer.train_batch(x, np.arange(len(x)) % NUM_CLASSES)
+        optimizer.step()
+        after = engine.logits(x)
+        assert engine.counters.plan_misses == 1  # same plan, refreshed params
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(
+            after.astype(np.float64), _reference_logits(network, x), atol=1e-4
+        )
+
+    def test_fit_dtype_swap_rebinding_keeps_engines_coherent(self):
+        # fit() rebinds every parameter to float32 for the run and restores
+        # float64 on exit; both rebindings change array identity, and every
+        # engine cache must follow without explicit invalidation.
+        network = _network()
+        x = _batch(16)
+        y = np.arange(16) % NUM_CLASSES
+        stale = network.engine.logits(x).copy()
+        fit(
+            network,
+            SGD(network.parameters(), lr=0.1),
+            x,
+            y,
+            TrainConfig(epochs=2, batch_size=8, verbose=False),
+            np.random.default_rng(0),
+        )
+        assert network.parameters()[0].data.dtype == np.float64
+        trained = network.engine.logits(x)
+        assert not np.allclose(stale, trained)
+        np.testing.assert_allclose(
+            trained.astype(np.float64), _reference_logits(network, x), atol=1e-4
+        )
+
+    def test_memo_stays_consistent_with_compiled_plans(self):
+        network = _network()
+        engine = network.engine
+        x = _batch(4)
+        memoised = engine.logits(x)  # primes the memo
+        fresh = engine.logits(x, memo=False)  # straight through the plan
+        np.testing.assert_array_equal(memoised, fresh)
+        hit = engine.logits(x)
+        assert engine.counters.memo_hits == 1
+        np.testing.assert_array_equal(hit, fresh)
+
+
+class TestEmptyBatch:
+    def test_infer_plan_handles_zero_examples(self):
+        network = _network()
+        plan = compile_plan(network, (0,) + INPUT_SHAPE, np.float32, "infer", network.engine._cast)
+        out = plan.run(np.zeros((0,) + INPUT_SHAPE, dtype=np.float32))
+        assert out.shape == (0, NUM_CLASSES)
+
+    def test_engines_handle_zero_examples_end_to_end(self):
+        network = _network()
+        empty = np.zeros((0,) + INPUT_SHAPE)
+        labels = np.zeros((0,), dtype=int)
+        assert network.engine.logits(empty).shape == (0, NUM_CLASSES)
+        grad = GradientEngine(network)
+        assert grad.cross_entropy_input_grad(empty, labels).shape == empty.shape
+        trainer = TrainingEngine(network)
+        value, logits = trainer.train_batch(empty, labels)
+        assert value == 0.0 and logits.shape == (0, NUM_CLASSES)
+
+    def test_grad_plan_forward_backward_with_zero_examples(self):
+        network = _network()
+        grad = GradientEngine(network)
+        logits, ctx = grad.forward(np.zeros((0,) + INPUT_SHAPE))
+        assert logits.shape == (0, NUM_CLASSES)
+        out = grad.backward(ctx, np.zeros((0, NUM_CLASSES)))
+        assert out.shape == (0,) + INPUT_SHAPE
+
+
+class TestContextStaleness:
+    def test_backward_after_newer_forward_raises(self):
+        network = _network()
+        grad = GradientEngine(network)
+        x = _batch(3)
+        _, old_ctx = grad.forward(x)
+        grad.forward(_batch(3, seed=5))  # same plan: overwrites stashes
+        with pytest.raises(GuardViolation) as err:
+            grad.backward(old_ctx, np.ones((3, NUM_CLASSES)))
+        assert err.value.kind == "stale-context"
+
+    def test_contexts_from_different_shapes_stay_independent(self):
+        network = _network()
+        grad = GradientEngine(network)
+        x = _batch(3)
+        _, ctx = grad.forward(x)
+        grad.forward(_batch(2))  # different shape -> different plan
+        out = grad.backward(ctx, np.ones((3, NUM_CLASSES)))
+        assert out.shape == x.shape
+
+
+class TestCompiledPlanContract:
+    def test_supports_matches_engine_fallback_decision(self):
+        network = _network()
+        assert supports(network)
+        assert network.engine.supports_native
+
+    def test_rejects_unknown_mode_and_trainless_accumulate(self):
+        network = _network()
+        with pytest.raises(ValueError):
+            CompiledPlan(network, (1,) + INPUT_SHAPE, np.float32, "predict", network.engine._cast)
+        with pytest.raises(ValueError):
+            CompiledPlan(network, (1,) + INPUT_SHAPE, np.float32, "train", network.engine._cast)
+
+    def test_caller_input_is_never_mutated(self):
+        # ReLU heads the stack after conv; the compiled fusion must not
+        # write through to the caller's array even when the first layer is
+        # elementwise.
+        rng = np.random.default_rng(3)
+        network = Network([ReLU(), Flatten(), Dense(9, NUM_CLASSES, rng)], (1, 3, 3))
+        x = np.random.default_rng(4).normal(size=(2, 1, 3, 3)).astype(np.float32)
+        snapshot = x.copy()
+        network.engine.logits(x, memo=False)
+        np.testing.assert_array_equal(x, snapshot)
+
+    def test_layer_outputs_align_with_network_layers(self):
+        network = _network()
+        x = np.ascontiguousarray(_batch(2), dtype=np.float64)
+        engine64 = InferenceEngine(network, dtype=np.float64)
+        plan = compile_plan(network, x.shape, np.float64, "infer", engine64._cast)
+        outs = plan.layer_outputs(x)
+        assert len(outs) == len(network.layers)
+        with no_grad():
+            ref = Tensor(x)
+            for layer, out in zip(network.layers, outs):
+                ref = layer.forward(ref, training=False)
+                np.testing.assert_array_equal(out, ref.data)
+
+    def test_arena_buffers_are_reused_across_calls(self):
+        network = _network()
+        engine = InferenceEngine(network, memo_entries=0)
+        x = np.ascontiguousarray(_batch(4), dtype=np.float32)
+        plan = engine._plan_for(x.shape)
+        first = plan.run(x)
+        second = plan.run(x)
+        assert first is second  # same plan-owned buffer both times
+        assert plan.arena_bytes > 0
