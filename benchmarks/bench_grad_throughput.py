@@ -21,6 +21,10 @@ Run as a script::
 The acceptance bar from the gradient-engine refactor: the engine must beat
 legacy by >= 1.5x on ``cw-l2-inner`` and ``jacobian``.  ``--smoke`` runs a
 tiny configuration for CI wiring and does not enforce the bar.
+
+Full (non-smoke) runs persist ``BENCH_grad_throughput.json`` with the
+provenance context (git SHA, NumPy, dataset fingerprint) the
+``python -m repro bench --compare`` regression gate diffs against.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 
+from bench_common import bench_context, dataset_fingerprint, write_payload
 from repro.attacks.cw import _margin_loss, _to_w
 from repro.nn import GradientEngine, Tensor, losses, ops
 from repro.zoo import model_for_dataset
@@ -166,6 +171,14 @@ def run(n_examples: int, cw_examples: int, cw_iterations: int, repeats: int) -> 
         results["cw-l2-inner"]["speedup"] >= 1.5 and results["jacobian"]["speedup"] >= 1.5
     )
     return {
+        "context": bench_context(
+            dataset=dataset.name,
+            dataset_fingerprint=dataset_fingerprint(x),
+            examples=len(x),
+            cw_examples=len(x_cw),
+            cw_iterations=cw_iterations,
+            repeats=repeats,
+        ),
         "dataset": dataset.name,
         "examples": len(x),
         "cw_examples": len(x_cw),
@@ -201,6 +214,9 @@ def main(argv=None) -> int:
     print(text)
     if args.out:
         args.out.write_text(text + "\n")
+    elif not args.smoke:
+        path = write_payload("grad_throughput", payload)
+        print(f"wrote {path}", file=sys.stderr)
     if args.smoke:
         return 0
     return 0 if payload["meets_1p5x_bar"] else 1

@@ -158,7 +158,9 @@ def main(argv=None) -> int:
 
     payload = run(args.batch_size, args.calls, args.repeats)
     print(json.dumps(payload, indent=2))
-    if not args.smoke:
+    # --out writes even under --smoke, so the CI perf-smoke stage can feed
+    # its (tiny, context-mismatched) result to `repro bench --compare`.
+    if args.out is not None or not args.smoke:
         path = write_payload("plan_throughput", payload, out=args.out)
         print(f"wrote {path}", file=sys.stderr)
     if args.smoke:

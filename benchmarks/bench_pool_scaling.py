@@ -1,0 +1,188 @@
+"""Worker-pool scaling benchmark (standalone, JSON output).
+
+Measures **units/second** of the lease-based worker pool at 1, 2 and 4
+workers on a chunked Table-4/5-shaped plan, persisting
+``BENCH_pool_scaling.json`` for the regression gate.  Two workloads:
+
+* ``latency`` (default) — a synthetic plan with the exact key structure
+  of ``plan_table45``'s eval chunks (defense x attack x seed-chunk) where
+  each unit blocks for a fixed stall plus a small NumPy compute slice.
+  This models the regime the pool exists for — units dominated by
+  non-CPU latency (artifact loads, remote execution, the m=50 corrector
+  fan-out waiting on a shared accelerator) — and therefore measures what
+  the *pool layer itself* contributes: claim/heartbeat overhead over the
+  shared ledger and how well concurrent leases overlap.  It scales on a
+  single-core host, so CI can gate on it anywhere.
+* ``table45`` — the real ``plan_table45`` eval units on ``mnist-fast``
+  (artifact cache pre-warmed so crafting is excluded).  These are pure
+  CPU, so their scaling ceiling is ``min(workers, physical cores)``; run
+  this on a multicore host for end-to-end numbers.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_pool_scaling.py
+    PYTHONPATH=src python benchmarks/bench_pool_scaling.py --workload table45
+    PYTHONPATH=src python benchmarks/bench_pool_scaling.py --smoke
+
+The acceptance bar: >= 2.5x units/sec at 4 workers vs 1 on the default
+workload.  ``--smoke`` runs a tiny 1-vs-2-worker sweep for CI wiring and
+does not enforce the bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from bench_common import bench_context, write_payload
+from repro.runner import FailurePolicy, PoolConfig, WorkerPool, WorkUnit
+
+DEFENSES = ("standard", "distillation", "rc", "dcn")
+
+
+def latency_plan(units_per_defense: int, stall_ms: float, compute: int) -> list[WorkUnit]:
+    """A chunked table45-shaped plan of stall+compute units.
+
+    Payloads are pure functions of the unit key (the plan contract), so
+    byte-identity invariants hold at every worker count.
+    """
+    units = []
+    for defense in DEFENSES:
+        for chunk in range(units_per_defense):
+
+            def fn(defense=defense, chunk=chunk):
+                time.sleep(stall_ms / 1000.0)  # the modelled artifact/remote stall
+                rng = np.random.default_rng([hash(defense) % (2**31), chunk])
+                a = rng.standard_normal((compute, compute)).astype(np.float32)
+                return {"checksum": float(np.abs(a @ a.T).sum()), "chunk": chunk}
+
+            units.append(
+                WorkUnit(
+                    experiment="poolbench",
+                    dataset="synthetic",
+                    defense=defense,
+                    attack="cw-l2",
+                    chunk=f"seeds{chunk:03d}",
+                    fn=fn,
+                )
+            )
+    return units
+
+
+def table45_plan() -> list[WorkUnit]:
+    """The real chunked Table 4/5 eval units, cache pre-warmed."""
+    import dataclasses
+
+    from repro.eval import build_context, scale_config
+    from repro.runner import Runner
+    from repro.runner import experiments as plans
+
+    scale = dataclasses.replace(scale_config("fast"), rc_samples=100)
+    ctx = build_context("mnist-fast", scale)
+    units = plans.plan_table45(ctx, attacks=("cw-l2",), chunk_seeds=1)
+    setup = [u for u in units if u.chunk in ("setup", "craft")]
+    evals = [u for u in units if u.chunk.startswith("seeds")]
+    # Warm defenses/pools sequentially so the timed sweep measures eval
+    # units only, all loading the same cached artifacts.
+    warm = Runner(ledger=None).run(setup)
+    assert warm.ok, f"warm-up failed: {warm.failed}"
+    return evals
+
+
+def sweep(units: list[WorkUnit], worker_counts: tuple[int, ...], lease_ttl: float) -> dict:
+    results = {}
+    for workers in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="bench-pool-") as tmp:
+            pool = WorkerPool(
+                Path(tmp) / "ledger.jsonl",
+                policy=FailurePolicy(max_attempts=2),
+                config=PoolConfig(workers=workers, lease_ttl=lease_ttl, poll_interval=0.02),
+            )
+            start = time.perf_counter()
+            result = pool.run(units, resume=False)
+            seconds = time.perf_counter() - start
+        assert result.ok, f"pool run failed at {workers} workers: {result.failed}"
+        assert len(result.executed) == len(units)
+        results[f"workers-{workers}"] = {
+            "workers": workers,
+            "units": len(units),
+            "seconds": seconds,
+            "units_per_sec": len(units) / seconds,
+        }
+    return results
+
+
+def run(workload: str, units_per_defense: int, stall_ms: float, compute: int,
+        worker_counts: tuple[int, ...], lease_ttl: float) -> dict:
+    if workload == "table45":
+        units = table45_plan()
+    else:
+        units = latency_plan(units_per_defense, stall_ms, compute)
+
+    results = sweep(units, worker_counts, lease_ttl)
+    base = results[f"workers-{worker_counts[0]}"]["units_per_sec"]
+    speedups = {
+        f"speedup_{w}x": results[f"workers-{w}"]["units_per_sec"] / base
+        for w in worker_counts[1:]
+    }
+    top = worker_counts[-1]
+    return {
+        "context": bench_context(
+            workload=workload,
+            units=len(units),
+            stall_ms=stall_ms if workload == "latency" else None,
+            compute=compute if workload == "latency" else None,
+            worker_counts=list(worker_counts),
+            lease_ttl=lease_ttl,
+            cpu_count=os.cpu_count(),
+        ),
+        "results": results,
+        **speedups,
+        "meets_2p5x_bar": bool(speedups.get(f"speedup_{top}x", 0.0) >= 2.5 and top >= 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", choices=("latency", "table45"), default="latency")
+    parser.add_argument("--units-per-defense", type=int, default=12)
+    parser.add_argument("--stall-ms", type=float, default=100.0)
+    parser.add_argument("--compute", type=int, default=48, help="matmul size of the CPU slice")
+    parser.add_argument("--lease-ttl", type=float, default=5.0)
+    parser.add_argument("--out", type=Path, default=None, help="JSON path override")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny 1-vs-2-worker sweep, no JSON write, never fails the bar (CI wiring)",
+    )
+    args = parser.parse_args(argv)
+    worker_counts = (1, 2) if args.smoke else (1, 2, 4)
+    if args.smoke:
+        args.units_per_defense, args.stall_ms = 2, 30.0
+    if min(args.units_per_defense, args.compute) < 1 or args.stall_ms < 0:
+        parser.error("--units-per-defense/--compute must be >= 1, --stall-ms >= 0")
+
+    payload = run(
+        args.workload, args.units_per_defense, args.stall_ms, args.compute,
+        worker_counts, args.lease_ttl,
+    )
+    print(json.dumps(payload, indent=2))
+    if args.out is not None or not args.smoke:
+        path = write_payload("pool_scaling", payload, out=args.out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.smoke:
+        return 0
+    return 0 if payload["meets_2p5x_bar"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

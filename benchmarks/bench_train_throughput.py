@@ -21,6 +21,10 @@ The acceptance bar from the training-engine refactor: the engine must beat
 legacy by >= 2x epochs/sec on ``cnn-fast``.  ``--smoke`` runs a tiny
 configuration for CI wiring (skipping the paper-scale CNN) and does not
 enforce the bar.
+
+Full (non-smoke) runs persist ``BENCH_train_throughput.json`` with the
+provenance context (git SHA, NumPy, dataset fingerprint) the
+``python -m repro bench --compare`` regression gate diffs against.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 
+from bench_common import bench_context, dataset_fingerprint, write_payload
 from repro.core.detector import build_detector_network
 from repro.datasets import load_dataset
 from repro.nn import Adam, TrainConfig, fit
@@ -105,7 +110,17 @@ def run(examples: int, epochs: int, detector_epochs: int, repeats: int, smoke: b
         entry["final_loss_delta"] = abs(losses["engine"] - losses["legacy"])
         results[name] = entry
 
+    train_x = load_dataset("mnist-fast").x_train[:examples]
     return {
+        "context": bench_context(
+            dataset="mnist-fast",
+            dataset_fingerprint=dataset_fingerprint(train_x),
+            examples=examples,
+            epochs=epochs,
+            detector_epochs=detector_epochs,
+            repeats=repeats,
+            smoke=smoke,
+        ),
         "examples": examples,
         "repeats": repeats,
         "results": results,
@@ -136,6 +151,9 @@ def main(argv=None) -> int:
     print(text)
     if args.out:
         args.out.write_text(text + "\n")
+    elif not args.smoke:
+        path = write_payload("train_throughput", payload)
+        print(f"wrote {path}", file=sys.stderr)
     if args.smoke:
         return 0
     return 0 if payload["meets_2x_bar"] else 1

@@ -28,6 +28,9 @@ REPRO_VERIFY=1 python -m repro verify --seed 0 --cases 6
 echo "== runner smoke (kill mid-flight, resume, diff vs clean) =="
 python scripts/runner_smoke.py
 
+echo "== pool smoke (2 lease workers, SIGKILL mid-lease, reclaim, resume) =="
+python scripts/pool_smoke.py
+
 echo "== gradient-engine benchmark (smoke) =="
 python benchmarks/bench_grad_throughput.py --smoke > /dev/null
 echo "ok"
@@ -39,3 +42,15 @@ echo "ok"
 echo "== compiled-plan benchmark (smoke) =="
 python benchmarks/bench_plan_throughput.py --smoke > /dev/null
 echo "ok"
+
+echo "== pool-scaling benchmark (smoke) =="
+python benchmarks/bench_pool_scaling.py --smoke > /dev/null
+echo "ok"
+
+echo "== perf smoke (bench regression gate vs committed baseline, warn-only) =="
+# A --smoke run is context-mismatched with the committed full baseline by
+# design; the gate reports drift without failing CI.  Full runs gate hard:
+#   python benchmarks/bench_plan_throughput.py --out /tmp/bench.json
+#   python -m repro bench --compare BENCH_plan_throughput.json /tmp/bench.json
+python benchmarks/bench_plan_throughput.py --smoke --out /tmp/bench_plan_smoke.json > /dev/null
+python -m repro bench --compare BENCH_plan_throughput.json /tmp/bench_plan_smoke.json --warn-only

@@ -10,7 +10,11 @@ Commands
 * ``table`` — regenerate a paper table (2, 3, 4, 5 or 6).
 * ``figure`` — regenerate a paper figure (1 or 4).
 * ``run`` — journaled, resumable experiment run (``--resume`` replays the
-  ledger, so a killed run picks up at the first unfinished work unit).
+  ledger, so a killed run picks up at the first unfinished work unit;
+  ``--workers N`` shards the plan across N lease-based worker processes
+  coordinating through the same ledger, with byte-identical tables).
+* ``bench`` — diff two persisted ``BENCH_*.json`` results and classify
+  per-case regressions/improvements against a relative threshold.
 * ``verify`` — differential verification of the fused engines vs autograd.
 
 All heavy artifacts go through the ``.artifacts`` cache, so repeated
@@ -68,6 +72,43 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true", help="replay the ledger instead of starting fresh")
     run.add_argument("--chunk", type=int, default=6, help="benign seeds per table 4/5 eval unit")
     run.add_argument("--retry-failed", action="store_true", help="re-execute ledgered failed units")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes leasing units from the shared ledger (1: in-process)",
+    )
+    run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds before a dead worker's lease expires and its unit is reclaimed",
+    )
+
+    bench = sub.add_parser("bench", help="compare persisted benchmark results")
+    bench.add_argument(
+        "--compare",
+        metavar="BASE",
+        required=True,
+        help="baseline BENCH_<name>.json to diff against",
+    )
+    bench.add_argument(
+        "current",
+        nargs="?",
+        default=None,
+        help="current BENCH_<name>.json (default: the repo-root file with BASE's name)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change classified as regression/improvement (default 0.10)",
+    )
+    bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI perf-smoke mode)",
+    )
 
     rep = sub.add_parser("report", help="run all experiments, emit a markdown report")
     rep.add_argument("--output", default=None, help="write to a file instead of stdout")
@@ -228,28 +269,29 @@ def _cmd_run(
     resume: bool,
     chunk: int,
     retry_failed: bool,
+    workers: int = 1,
+    lease_ttl: float = 30.0,
 ) -> int:
     from .cache import cache_dir
     from .eval import build_context, format_fig4, format_table2, format_table3, format_table45, format_table6, scale_config
-    from .runner import Runner
+    from .runner import PoolConfig, Runner, WorkerPool
     from .runner import experiments as plans
 
     scale = scale_config()
     ctx = build_context(dataset_name or scale.mnist, scale)
     ledger_path = ledger or str(cache_dir() / f"run-{scale.name}.jsonl")
-    runner = Runner(ledger=ledger_path, resume=resume)
-    chosen = only or ["table2", "table3", "table45", "table6", "fig4"]
+    chosen = only or list(plans.EXPERIMENTS)
 
-    planners = {
-        "table2": lambda: plans.plan_table2(ctx),
-        "table3": lambda: plans.plan_table3(ctx),
-        "table45": lambda: plans.plan_table45(ctx, chunk_seeds=chunk),
-        "table6": lambda: plans.plan_table6(ctx),
-        "fig4": lambda: plans.plan_fig4(ctx),
-    }
-    units = [unit for name in chosen for unit in planners[name]()]
+    units = plans.plan_experiments(ctx, chosen, chunk_seeds=chunk)
     try:
-        result = runner.run(units, retry_failed=retry_failed)
+        if workers > 1:
+            pool = WorkerPool(
+                ledger_path, config=PoolConfig(workers=workers, lease_ttl=lease_ttl)
+            )
+            result = pool.run(units, resume=resume, retry_failed=retry_failed)
+        else:
+            runner = Runner(ledger=ledger_path, resume=resume)
+            result = runner.run(units, retry_failed=retry_failed)
     except KeyboardInterrupt:
         print(f"\ninterrupted; completed units are journaled in {ledger_path}")
         print("re-run with --resume to continue from the first unfinished unit")
@@ -272,14 +314,45 @@ def _cmd_run(
         rows = plans.assemble_fig4(result, by_exp["fig4"])
         print(format_fig4(rows, ctx.dataset.name) + "\n")
 
+    pending = len(units) - len(result.records)
     print(
         f"run: {len(result.executed)} executed, {len(result.replayed)} replayed, "
-        f"{len(result.failed)} failed (ledger: {ledger_path})"
+        f"{len(result.failed)} failed"
+        + (f", {pending} pending" if pending else "")
+        + (f" [{workers} workers]" if workers > 1 else "")
+        + f" (ledger: {ledger_path})"
     )
     for key in result.failed:
         failure = (result.records[key].get("failure") or {})
         print(f"  FAILED {key}: {failure.get('error', '?')}: {failure.get('message', '')}")
-    return 0 if result.ok else 1
+    if pending:
+        print("re-run with --resume to finish the pending units")
+    return 0 if result.ok and not pending else 1
+
+
+def _cmd_bench(compare: str, current: str | None, threshold: float, warn_only: bool) -> int:
+    from pathlib import Path
+
+    from .benchcmp import REPO_ROOT_HINT, compare_files, format_comparison
+
+    base_path = Path(compare)
+    if current is None:
+        # Default counterpart: the committed baseline of the same name at
+        # the repo root (diffing a fresh run against what's checked in).
+        current_path = REPO_ROOT_HINT / base_path.name
+    else:
+        current_path = Path(current)
+    for path in (base_path, current_path):
+        if not path.exists():
+            print(f"bench: no such result file: {path}", file=sys.stderr)
+            return 2
+    comparison = compare_files(base_path, current_path, threshold=threshold)
+    print(f"base:    {base_path}\ncurrent: {current_path}")
+    print(format_comparison(comparison))
+    if not comparison.ok and warn_only:
+        print("warn-only: regressions reported but not failing the run")
+        return 0
+    return 0 if comparison.ok else 1
 
 
 def _cmd_report(output: str | None, light: bool) -> int:
@@ -324,8 +397,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure(args.which)
     if args.command == "run":
         return _cmd_run(
-            args.only, args.dataset, args.ledger, args.resume, args.chunk, args.retry_failed
+            args.only,
+            args.dataset,
+            args.ledger,
+            args.resume,
+            args.chunk,
+            args.retry_failed,
+            args.workers,
+            args.lease_ttl,
         )
+    if args.command == "bench":
+        return _cmd_bench(args.compare, args.current, args.threshold, args.warn_only)
     if args.command == "report":
         return _cmd_report(args.output, args.light)
     if args.command == "verify":

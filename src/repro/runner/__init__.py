@@ -9,6 +9,11 @@ append-only crash-safe :class:`Ledger`.  A killed run resumes by replaying
 the ledger: completed units are never re-executed, and finished tables
 report per-cell coverage instead of dying on the first bad unit.
 
+:class:`WorkerPool` (``pool.py``) shards a plan across N forked worker
+processes that lease units from the same ledger — lease/heartbeat/expiry
+records in the JSONL stream, deterministic reclamation of dead workers'
+units, byte-identical tables versus a sequential run.
+
 :mod:`repro.runner.faultinject` is the deterministic chaos harness the
 test suite drives this machinery with; :mod:`repro.runner.experiments`
 (imported lazily — it pulls in the full eval harness) maps the paper's
@@ -24,8 +29,9 @@ from .faultinject import (
     InjectedError,
     SimulatedCrash,
 )
-from .ledger import Ledger, LedgerState
+from .ledger import Ledger, LedgerState, new_lease_id
 from .policy import NUMERICAL_ERRORS, FailurePolicy, UnitFailure, degraded_engines, execute_unit
+from .pool import PoolConfig, WorkerPool, fork_available
 from .runner import Runner, RunResult
 from .units import WorkUnit, cell_key
 
@@ -37,11 +43,15 @@ __all__ = [
     "SimulatedCrash",
     "Ledger",
     "LedgerState",
+    "new_lease_id",
     "NUMERICAL_ERRORS",
     "FailurePolicy",
     "UnitFailure",
     "degraded_engines",
     "execute_unit",
+    "PoolConfig",
+    "WorkerPool",
+    "fork_available",
     "Runner",
     "RunResult",
     "WorkUnit",

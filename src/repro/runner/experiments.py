@@ -47,6 +47,8 @@ from .runner import RunResult
 from .units import WorkUnit
 
 __all__ = [
+    "EXPERIMENTS",
+    "plan_experiments",
     "plan_table2",
     "assemble_table2",
     "plan_table3",
@@ -58,6 +60,31 @@ __all__ = [
     "plan_fig4",
     "assemble_fig4",
 ]
+
+#: Canonical experiment names, in plan order.
+EXPERIMENTS = ("table2", "table3", "table45", "table6", "fig4")
+
+
+def plan_experiments(ctx, chosen=None, chunk_seeds: int = 6) -> list["WorkUnit"]:
+    """One flat unit plan for the chosen experiments, in canonical order.
+
+    The single planning entry point shared by the sequential CLI path and
+    the worker pool: every process that plans from the same
+    ``(ctx, chosen, chunk_seeds)`` derives the identical keyed plan, which
+    is what lets pool workers lease against a common ledger.
+    """
+    planners = {
+        "table2": lambda: plan_table2(ctx),
+        "table3": lambda: plan_table3(ctx),
+        "table45": lambda: plan_table45(ctx, chunk_seeds=chunk_seeds),
+        "table6": lambda: plan_table6(ctx),
+        "fig4": lambda: plan_fig4(ctx),
+    }
+    names = list(chosen) if chosen else list(EXPERIMENTS)
+    for name in names:
+        if name not in planners:
+            raise ValueError(f"unknown experiment {name!r} (choose from {EXPERIMENTS})")
+    return [unit for name in names for unit in planners[name]()]
 
 _DEFENSE_ATTRS = {
     "standard": "standard",

@@ -29,14 +29,35 @@ Fault kinds
 ``crash``
     :class:`SimulatedCrash` (a ``BaseException``) at a unit boundary — a
     hard kill with no cleanup; only the ledger's crash-safety saves the run.
+``sigkill``
+    A **real** ``SIGKILL`` to the executing process at a unit boundary —
+    the worker-pool death scenario.  Unlike ``crash`` (an exception the
+    parent test catches), nothing survives: no ``finally`` blocks, no
+    lease release — the unit's lease must expire and be reclaimed by a
+    surviving worker.  Only meaningful inside a forked pool worker.
+``hb-stall``
+    Suppresses the worker pool's heartbeats while the matching unit runs,
+    modelling a wedged-but-alive worker: its lease expires mid-execution
+    and another worker may reclaim the unit.  Queried by the pool through
+    :meth:`FaultInjector.heartbeats_stalled`.
 ``step-raise``
     For synthetic units that call :meth:`FaultInjector.step` as a
     cooperative checkpoint: raises when the global step counter hits
     ``step`` — "raise at step N" inside a unit body.
+
+Pool scoping
+------------
+A :class:`Fault` may carry ``worker=N`` so it fires only inside pool
+worker ``N`` (the pool sets :attr:`FaultInjector.worker_id` after fork);
+``worker=None`` (default) fires in any process.  ``unit_index`` remains
+the ordinal among units *executed by that process*, which is what makes
+single-process chaos plans replay unchanged under the pool.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -56,7 +77,7 @@ __all__ = [
     "SimulatedCrash",
 ]
 
-ALL_KINDS = ("raise", "nan-grad", "corrupt-cache", "interrupt", "crash")
+ALL_KINDS = ("raise", "nan-grad", "corrupt-cache", "interrupt", "crash", "sigkill", "hb-stall")
 
 
 class InjectedError(RuntimeError):
@@ -80,6 +101,7 @@ class Fault:
     unit_index: int  # ordinal among *executed* (non-replayed) units
     attempts: int = 1  # for "raise"/"nan-grad": consecutive attempts poisoned
     step: int = 0  # for "step-raise": global cooperative-step ordinal
+    worker: int | None = None  # pool worker id this fault is scoped to (None: any)
 
 
 @dataclass(frozen=True)
@@ -144,17 +166,22 @@ class FaultInjector:
     simply never fires).
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, worker_id: int | None = None):
         self.plan = plan
+        self.worker_id = worker_id  # set by the pool after fork
         self.fired: list[Fault] = []
         self._steps = 0
+
+    def _mine(self, fault: Fault) -> bool:
+        """Whether a fault is scoped to this process (see *Pool scoping*)."""
+        return fault.worker is None or fault.worker == self.worker_id
 
     # -- runner hooks ----------------------------------------------------------
 
     def before_unit(self, unit, index: int) -> None:
-        """Unit-boundary faults: interrupt, crash, cache corruption."""
+        """Unit-boundary faults: interrupt, crash, sigkill, cache corruption."""
         for fault in self.plan.faults:
-            if fault.unit_index != index:
+            if fault.unit_index != index or not self._mine(fault):
                 continue
             if fault.kind == "interrupt":
                 self.fired.append(fault)
@@ -162,16 +189,30 @@ class FaultInjector:
             if fault.kind == "crash":
                 self.fired.append(fault)
                 raise SimulatedCrash(f"injected crash before unit {unit.key}")
+            if fault.kind == "sigkill":
+                # A real hard kill: no exception, no cleanup, no lease
+                # release.  The pool's lease expiry is the only recovery.
+                os.kill(os.getpid(), signal.SIGKILL)
             if fault.kind == "corrupt-cache":
                 if self._corrupt_one_cache_entry():
                     self.fired.append(fault)
+
+    def heartbeats_stalled(self, index: int) -> bool:
+        """Whether an ``hb-stall`` fault suppresses heartbeats for the unit
+        at executed-ordinal ``index`` in this process (pool hook)."""
+        for fault in self.plan.faults:
+            if fault.kind == "hb-stall" and fault.unit_index == index and self._mine(fault):
+                if fault not in self.fired:
+                    self.fired.append(fault)
+                return True
+        return False
 
     @contextmanager
     def attempt(self, unit, index: int, attempt: int, degraded: bool) -> Iterator[None]:
         """In-unit faults for one attempt: ``raise`` and ``nan-grad``."""
         poisons = []
         for fault in self.plan.faults:
-            if fault.unit_index != index or attempt >= fault.attempts:
+            if fault.unit_index != index or attempt >= fault.attempts or not self._mine(fault):
                 continue
             if fault.kind == "raise":
                 self.fired.append(fault)

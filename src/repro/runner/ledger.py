@@ -1,17 +1,23 @@
-"""Append-only, crash-safe JSONL ledger of completed work units.
+"""Append-only, crash-safe JSONL ledger of work-unit state.
 
-One line per record.  Two record kinds share the file:
+One line per record.  Four record kinds share the file:
 
 * ``{"kind": "unit", "key": ..., "status": "ok"|"failed", "payload": ...,
   "attempts": n, "degraded": bool, "seconds": s, "failure": {...}|null}``
   — a terminal unit outcome, replayed on resume.
+* ``{"kind": "lease", "op": "claim"|"heartbeat"|"release", "key": ...,
+  "lease_id": ..., "worker": ..., "now": t, "deadline": t+ttl}``
+  — worker-pool coordination (see *Leases* below).
+* ``{"kind": "retry", "key": ...}`` — a retry marker: voids the preceding
+  *failed* terminal record for ``key`` so a pool run with
+  ``retry_failed=True`` re-executes it.
 * ``{"kind": "event", "event": ...}`` — run lifecycle and failure-channel
   events (``run-start``, ``interrupt``, ``cache-quarantine``, …).
 
 Crash safety
 ------------
 Each record is written with a **single** ``os.write`` to an ``O_APPEND``
-file descriptor and (by default) ``fsync``\\ ed before the runner moves on,
+file descriptor and (by default) ``fsync``\\ ed before the writer moves on,
 so every journaled unit survives a crash at any later instant.  The only
 window is a torn final line from a crash mid-write; :meth:`Ledger.replay`
 tolerates and counts those instead of failing.  Whole-file operations —
@@ -19,28 +25,79 @@ truncating for a fresh run — go through a pid+uuid temporary file and an
 atomic ``os.replace``, exactly like the artifact cache, so a reader racing
 a reset never observes a half-written file.
 
-The ledger is a single-writer journal: two live processes appending to one
-path will interleave whole lines (O_APPEND guarantees that much) but the
-runner makes no attempt to merge their unit sets.
+``fsync_every=K`` opts into **group commit**: the fd is fsynced on every
+K-th append (and on :meth:`flush`/:meth:`close`) instead of every append,
+so high-throughput journaling does not serialize on the disk.  The price
+is a bounded durability window — a power loss can drop at most the last
+``K-1`` appended records (:attr:`Ledger.unsynced_records`); replay of the
+surviving prefix still resumes cleanly, re-executing only the dropped
+units.
+
+Multi-writer discipline
+-----------------------
+The file supports **multiple concurrent appenders**: each worker process
+holds its own ``O_APPEND`` descriptor and writes whole lines with single
+``os.write`` calls, which the kernel interleaves atomically.  Coordination
+between writers happens *in-band*, through lease records — never through
+file locks.
+
+Leases
+------
+A worker claims a unit by appending ``op="claim"`` with a fresh
+``lease_id`` and a wall-clock ``deadline``.  Because ``O_APPEND`` totally
+orders the records, replaying the file decides every race
+deterministically, with no reader clock involved:
+
+* a **claim** is *granted* iff, at that point in the file, the key has no
+  terminal record and no active lease — or the active lease has expired
+  relative to the claim's own embedded ``now`` (``now > deadline``), or it
+  is the claimer's own lease.  A claim that is not granted is void: the
+  losing worker observes another ``lease_id`` active after re-reading and
+  walks away.
+* a **heartbeat** extends the deadline iff its ``lease_id`` matches the
+  active lease — a stale worker heartbeating a lost lease changes nothing.
+* a **release** ends the active lease iff its ``lease_id`` matches.
+* a **terminal unit record** clears any lease on its key; later lease ops
+  on a finished key are ignored.
+
+Dead or wedged workers therefore never wedge the run: their lease expires
+(no heartbeats) and the next claim on the key is granted — *reclamation*.
+:attr:`LedgerState.lease_grants` counts granted claims per key so the
+chaos suite can assert "reclaimed exactly once".
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["Ledger", "LedgerState"]
+__all__ = ["Ledger", "LedgerState", "new_lease_id"]
+
+
+def new_lease_id() -> str:
+    """A process-unique lease identifier (pid-prefixed for post-mortems)."""
+    return f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
 
 
 @dataclass
 class LedgerState:
-    """The replayable content of a ledger file."""
+    """The replayable content of a ledger file.
+
+    ``units``/``events`` mirror the journal; ``leases`` is the active-lease
+    map produced by the deterministic replay of lease records (see module
+    docstring), and ``lease_grants`` counts how many claims were *granted*
+    per key — 1 for an uncontended unit, 2 for one reclaimed after a
+    worker death, and so on.
+    """
 
     units: dict[str, dict] = field(default_factory=dict)  # key -> last unit record
     events: list[dict] = field(default_factory=list)
+    leases: dict[str, dict] = field(default_factory=dict)  # key -> active lease
+    lease_grants: dict[str, int] = field(default_factory=dict)
     torn_lines: int = 0
 
     def completed(self) -> set[str]:
@@ -50,26 +107,80 @@ class LedgerState:
     def succeeded(self) -> set[str]:
         return {key for key, rec in self.units.items() if rec.get("status") == "ok"}
 
+    def lease_holder(self, key: str, now: float) -> dict | None:
+        """The active, unexpired lease on ``key`` as seen at time ``now``."""
+        lease = self.leases.get(key)
+        if lease is None or now > lease["deadline"]:
+            return None
+        return lease
+
+    def claimable(self, key: str, now: float) -> bool:
+        """Whether a claim on ``key`` appended at ``now`` would be granted."""
+        return key not in self.units and self.lease_holder(key, now) is None
+
 
 class Ledger:
-    """Journal of unit outcomes at ``path`` (see module docstring)."""
+    """Journal of unit outcomes at ``path`` (see module docstring).
 
-    def __init__(self, path: str | Path, fsync: bool = True, fresh: bool = False):
+    ``fsync_every=K`` (default 1) enables group commit: fsync once per K
+    appends instead of per append.  Appends are thread-safe — the worker
+    pool's heartbeat thread shares the ledger with the unit executor.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = True,
+        fresh: bool = False,
+        fsync_every: int = 1,
+    ):
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
         self.path = Path(path)
         self.fsync = fsync
+        self.fsync_every = int(fsync_every)
         self._fd: int | None = None
+        self._lock = threading.Lock()
+        self._unsynced = 0
+        self._synced_bytes = 0
+        self._written_bytes = 0
         if fresh and self.path.exists():
             self._truncate()
+
+    # -- durability accounting -------------------------------------------------
+
+    @property
+    def unsynced_records(self) -> int:
+        """Appended records not yet known durable (bounded by ``fsync_every-1``
+        after any append when fsync is on)."""
+        return self._unsynced
+
+    @property
+    def synced_bytes(self) -> int:
+        """File length known durable — the group-commit crash test truncates
+        here to emulate the worst-case power-loss window."""
+        return self._synced_bytes
 
     # -- writing ---------------------------------------------------------------
 
     def append(self, record: dict) -> None:
-        """Journal one record: a single atomic-line append, then fsync."""
+        """Journal one record: a single atomic-line append, then group-commit
+        fsync (every ``fsync_every``-th append)."""
         line = json.dumps(record, sort_keys=True, allow_nan=True) + "\n"
-        fd = self._ensure_fd()
-        os.write(fd, line.encode())
-        if self.fsync:
-            os.fsync(fd)
+        data = line.encode()
+        with self._lock:
+            fd = self._ensure_fd()
+            os.write(fd, data)
+            self._written_bytes += len(data)
+            self._unsynced += 1
+            if self.fsync and self._unsynced >= self.fsync_every:
+                self._fsync_locked(fd)
+
+    def flush(self) -> None:
+        """Force an fsync of any group-commit backlog."""
+        with self._lock:
+            if self._fd is not None and self._unsynced:
+                self._fsync_locked(self._fd)
 
     def unit(
         self,
@@ -95,6 +206,34 @@ class Ledger:
         self.append(record)
         return record
 
+    def lease(
+        self,
+        op: str,
+        key: str,
+        lease_id: str,
+        worker: int,
+        now: float,
+        deadline: float,
+    ) -> dict:
+        """Journal one lease operation (``claim``/``heartbeat``/``release``)."""
+        if op not in ("claim", "heartbeat", "release"):
+            raise ValueError(f"unknown lease op {op!r}")
+        record = {
+            "kind": "lease",
+            "op": op,
+            "key": key,
+            "lease_id": lease_id,
+            "worker": int(worker),
+            "now": round(float(now), 4),
+            "deadline": round(float(deadline), 4),
+        }
+        self.append(record)
+        return record
+
+    def retry(self, key: str) -> None:
+        """Journal a retry marker: voids a preceding failed record for ``key``."""
+        self.append({"kind": "retry", "key": key})
+
     def event(self, event: str, **fields) -> None:
         """Journal a lifecycle/failure-channel event."""
         self.append({"kind": "event", "event": event, **fields})
@@ -102,10 +241,13 @@ class Ledger:
     # -- reading ---------------------------------------------------------------
 
     def replay(self) -> LedgerState:
-        """Parse the ledger, last unit record per key winning.
+        """Parse the ledger in file order; see the module docstring.
 
-        A torn (half-written) line — the signature of a crash mid-append —
-        is skipped and counted, never fatal: everything before it replays.
+        Unit records: last per key wins.  Lease records run the
+        deterministic grant state machine.  Retry markers void a preceding
+        failed unit record.  A torn (half-written) line — the signature of
+        a crash mid-append — is skipped and counted, never fatal:
+        everything before it replays.
         """
         state = LedgerState()
         if not self.path.exists():
@@ -122,16 +264,53 @@ class Ledger:
             if not isinstance(record, dict):
                 state.torn_lines += 1
                 continue
-            if record.get("kind") == "unit" and isinstance(record.get("key"), str):
-                state.units[record["key"]] = record
+            kind = record.get("kind")
+            key = record.get("key")
+            if kind == "unit" and isinstance(key, str):
+                state.units[key] = record
+                state.leases.pop(key, None)
+            elif kind == "lease" and isinstance(key, str):
+                self._replay_lease(state, record)
+            elif kind == "retry" and isinstance(key, str):
+                prior = state.units.get(key)
+                if prior is not None and prior.get("status") != "ok":
+                    del state.units[key]
             else:
                 state.events.append(record)
         return state
+
+    @staticmethod
+    def _replay_lease(state: LedgerState, record: dict) -> None:
+        key = record["key"]
+        if key in state.units:  # terminal: stale lease traffic is ignored
+            return
+        op = record.get("op")
+        active = state.leases.get(key)
+        if op == "claim":
+            granted = (
+                active is None
+                or record["now"] > active["deadline"]  # expired: reclamation
+                or active["lease_id"] == record["lease_id"]
+            )
+            if granted:
+                state.leases[key] = {
+                    "lease_id": record["lease_id"],
+                    "worker": record.get("worker"),
+                    "deadline": record["deadline"],
+                }
+                state.lease_grants[key] = state.lease_grants.get(key, 0) + 1
+        elif op == "heartbeat":
+            if active is not None and active["lease_id"] == record["lease_id"]:
+                active["deadline"] = record["deadline"]
+        elif op == "release":
+            if active is not None and active["lease_id"] == record["lease_id"]:
+                del state.leases[key]
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
         if self._fd is not None:
+            self.flush()
             os.close(self._fd)
             self._fd = None
 
@@ -143,10 +322,21 @@ class Ledger:
 
     # -- internals -------------------------------------------------------------
 
+    def _fsync_locked(self, fd: int) -> None:
+        os.fsync(fd)
+        self._synced_bytes = self._written_bytes
+        self._unsynced = 0
+
     def _ensure_fd(self) -> int:
         if self._fd is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fd = os.open(str(self.path), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+            # Pre-existing content is presumed durable; byte accounting is
+            # meaningful for a single writer (the crash test's regime).
+            size = os.fstat(self._fd).st_size
+            self._written_bytes = size
+            self._synced_bytes = size
+            self._unsynced = 0
         return self._fd
 
     def _truncate(self) -> None:
@@ -155,3 +345,6 @@ class Ledger:
         tmp = self.path.with_name(f"{self.path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
         tmp.write_bytes(b"")
         os.replace(tmp, self.path)
+        self._written_bytes = 0
+        self._synced_bytes = 0
+        self._unsynced = 0

@@ -1,0 +1,312 @@
+"""Sharded multi-process runner: a lease-based worker pool over the ledger.
+
+:class:`WorkerPool` runs a unit plan with ``N`` forked worker processes
+that coordinate **entirely through the shared JSONL ledger** — no queues,
+pipes or locks.  Each worker:
+
+1. replays the ledger, computes the pending set (plan keys without a
+   terminal record), and picks a claimable unit — one with no active,
+   unexpired lease;
+2. appends a ``claim`` lease record, then re-reads the ledger: the
+   ``O_APPEND`` total order makes the grant decision deterministic, so a
+   duplicate-claim race has exactly one winner and the loser walks away
+   (see :mod:`repro.runner.ledger` for the grant rules);
+3. executes the unit with the **same** :func:`~repro.runner.policy.execute_unit`
+   path the sequential runner uses — bounded retries, the float64
+   degradation ladder, guard enforcement — while a heartbeat thread
+   extends the lease;
+4. journals the terminal unit record (fsynced before the lease is
+   released) and moves on.
+
+A worker that dies mid-unit — SIGKILL, OOM, power loss — simply stops
+heartbeating; its lease expires after ``lease_ttl`` and a surviving
+worker *reclaims* the unit.  Because every unit's payload is a pure
+function of its key (the plan contract since PR 5), a reclaimed or even
+double-executed unit journals an identical payload, so tables assembled
+from a pool run are **byte-identical** to a sequential run's and resume
+semantics are unchanged: a resumed pool never re-executes a journaled
+unit.
+
+Workers share the content-checksummed artifact cache, so datasets,
+models and adversarial pools are built once and loaded by everyone else;
+the cache's pid+uuid atomic writes already make that concurrency-safe.
+
+``fork`` is the only supported start method: unit plans close over live
+contexts (networks, datasets) that are inherited by the child, never
+pickled.  Where ``fork`` is unavailable the pool degrades to the
+sequential :class:`~repro.runner.runner.Runner` on the same ledger.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .. import cache as cache_module
+from .ledger import Ledger, LedgerState, new_lease_id
+from .policy import FailurePolicy, execute_unit
+from .runner import RunResult, Runner
+from .units import WorkUnit
+
+__all__ = ["PoolConfig", "WorkerPool", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (else the pool runs sequentially)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Worker-pool knobs.
+
+    ``lease_ttl`` bounds how long a dead worker's unit stays stuck before
+    reclamation; heartbeats every ``heartbeat_interval`` (default
+    ``lease_ttl / 4``) keep long units alive.  ``poll_interval`` paces the
+    claim loop when everything pending is leased elsewhere.
+    ``fsync_every`` is the ledger's group-commit knob (see
+    :class:`~repro.runner.ledger.Ledger`).
+    """
+
+    workers: int = 2
+    lease_ttl: float = 30.0
+    heartbeat_interval: float | None = None  # default: lease_ttl / 4
+    poll_interval: float = 0.05
+    fsync_every: int = 1
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+
+    @property
+    def heartbeat_seconds(self) -> float:
+        if self.heartbeat_interval is not None:
+            return self.heartbeat_interval
+        return self.lease_ttl / 4.0
+
+
+class WorkerPool:
+    """Executes a unit plan with ``config.workers`` forked lease workers.
+
+    Parameters mirror :class:`~repro.runner.runner.Runner`:
+
+    ledger_path:
+        Path of the shared JSONL ledger (each process opens its own
+        ``O_APPEND`` descriptor on it).
+    policy:
+        The per-unit :class:`FailurePolicy` every worker applies.
+    config:
+        :class:`PoolConfig`; ``PoolConfig(workers=N)`` is the common case.
+    injector_factory:
+        Optional ``worker_id -> FaultInjector`` hook for the chaos suite —
+        called *inside* each child after fork, so faults are process-local
+        and can be scoped per worker.
+    """
+
+    def __init__(
+        self,
+        ledger_path,
+        policy: FailurePolicy | None = None,
+        config: PoolConfig | None = None,
+        injector_factory=None,
+    ):
+        self.ledger_path = ledger_path
+        self.policy = policy or FailurePolicy()
+        self.config = config or PoolConfig()
+        self.injector_factory = injector_factory
+
+    # -- orchestration (parent) ------------------------------------------------
+
+    def run(self, units: list[WorkUnit], resume: bool = True, retry_failed: bool = False) -> RunResult:
+        """Run ``units`` to completion across the pool; see module docstring.
+
+        Returns the same :class:`RunResult` shape as the sequential runner:
+        ``replayed`` is everything terminal before the pool started,
+        ``executed`` everything the workers journaled this run.
+        """
+        start = time.monotonic()
+        if not fork_available():  # pragma: no cover - non-POSIX fallback
+            runner = Runner(ledger=self.ledger_path, policy=self.policy, resume=resume)
+            return runner.run(units, retry_failed=retry_failed)
+
+        ledger = Ledger(self.ledger_path, fresh=not resume, fsync_every=self.config.fsync_every)
+        state = ledger.replay()
+        if retry_failed:
+            for key in sorted(state.units):
+                if state.units[key].get("status") != "ok" and any(u.key == key for u in units):
+                    ledger.retry(key)
+            state = ledger.replay()
+        initial = {key for key in state.units if key in {u.key for u in units}}
+        ledger.event(
+            "pool-start",
+            workers=self.config.workers,
+            units=len(units),
+            replayable=len(initial),
+            lease_ttl=self.config.lease_ttl,
+        )
+        ledger.flush()
+
+        mp = multiprocessing.get_context("fork")
+        procs = []
+        for worker_id in range(self.config.workers):
+            proc = mp.Process(
+                target=_worker_main,
+                args=(worker_id, units, self.ledger_path, self.policy, self.config,
+                      self.injector_factory),
+                daemon=False,
+            )
+            proc.start()
+            procs.append(proc)
+        for proc in procs:
+            proc.join()
+        exits = [int(proc.exitcode or 0) for proc in procs]
+
+        final = ledger.replay()
+        result = self._assemble(units, initial, final)
+        ledger.event(
+            "pool-end",
+            executed=len(result.executed),
+            replayed=len(result.replayed),
+            failed=len(result.failed),
+            pending=len(units) - len(result.records),
+            worker_exits=exits,
+        )
+        ledger.close()
+        result.seconds = time.monotonic() - start
+        return result
+
+    @staticmethod
+    def _assemble(units: list[WorkUnit], initial: set[str], final: LedgerState) -> RunResult:
+        keys = {unit.key for unit in units}
+        result = RunResult(records={}, torn_lines=final.torn_lines)
+        for key, record in final.units.items():  # file order
+            if key not in keys:
+                continue
+            result.records[key] = record
+            (result.replayed if key in initial else result.executed).append(key)
+        result.failed = [key for key, rec in result.records.items() if rec.get("status") != "ok"]
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Heartbeat:
+    """Background lease renewal for the unit a worker is executing."""
+
+    ledger: Ledger
+    key: str
+    lease_id: str
+    worker_id: int
+    interval: float
+    ttl: float
+    stalled: bool = False
+    _stop: threading.Event = field(default_factory=threading.Event)
+    _thread: threading.Thread | None = None
+
+    def __enter__(self) -> "_Heartbeat":
+        def beat():
+            while not self._stop.wait(self.interval):
+                if self.stalled:
+                    continue
+                now = time.time()
+                self.ledger.lease(
+                    "heartbeat", self.key, self.lease_id, self.worker_id, now, now + self.ttl
+                )
+
+        self._thread = threading.Thread(target=beat, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+
+
+def _worker_main(worker_id, units, ledger_path, policy, config, injector_factory):
+    """Entry point of one forked worker: the lease/execute/journal loop."""
+    ledger = Ledger(ledger_path, fsync_every=config.fsync_every)
+    injector = injector_factory(worker_id) if injector_factory is not None else None
+    if injector is not None:
+        injector.worker_id = worker_id
+
+    def quarantine_listener(path, reason):  # noqa: ANN001 - cache listener signature
+        ledger.event("cache-quarantine", path=str(path), reason=reason, worker=worker_id)
+
+    cache_module.add_corruption_listener(quarantine_listener)
+    try:
+        code = _worker_loop(worker_id, units, ledger, policy, config, injector)
+    except KeyboardInterrupt:
+        ledger.event("interrupt", worker=worker_id)
+        ledger.flush()
+        code = 130
+    finally:
+        cache_module.remove_corruption_listener(quarantine_listener)
+        ledger.close()
+    sys.exit(code)
+
+
+def _worker_loop(worker_id, units, ledger, policy, config, injector) -> int:
+    executed = 0
+    while True:
+        state = ledger.replay()
+        pending = [u for u in units if u.key not in state.units]
+        if not pending:
+            ledger.event("worker-done", worker=worker_id, executed=executed)
+            ledger.flush()
+            return 0
+        now = time.time()
+        claimable = [u for u in pending if state.claimable(u.key, now)]
+        if not claimable:
+            # Everything pending is leased elsewhere: wait for a result or
+            # an expiry, whichever the next replay shows first.
+            time.sleep(config.poll_interval)
+            continue
+        # Stagger pick by worker id so a fresh pool doesn't stampede a
+        # single key; plan order still wins as the pool drains.
+        unit = claimable[min(worker_id, len(claimable) - 1)]
+        lease_id = new_lease_id()
+        ledger.lease("claim", unit.key, lease_id, worker_id, now, now + config.lease_ttl)
+        granted = ledger.replay().leases.get(unit.key)
+        if granted is None or granted["lease_id"] != lease_id:
+            continue  # lost a duplicate-claim race; the winner runs it
+
+        stalled = injector.heartbeats_stalled(executed) if injector is not None else False
+        heartbeat = _Heartbeat(
+            ledger=ledger,
+            key=unit.key,
+            lease_id=lease_id,
+            worker_id=worker_id,
+            interval=config.heartbeat_seconds,
+            ttl=config.lease_ttl,
+            stalled=stalled,
+        )
+        try:
+            if injector is not None:
+                injector.before_unit(unit, executed)
+            with heartbeat:
+                record = execute_unit(unit, policy, injector, executed)
+        except KeyboardInterrupt:
+            # Clean interrupt: hand the unit back immediately so survivors
+            # need not wait out the ttl, then let the signal through.
+            now = time.time()
+            ledger.lease("release", unit.key, lease_id, worker_id, now, now)
+            raise
+        record = {"kind": "unit", "key": unit.key, "worker": worker_id, **record}
+        ledger.append(record)
+        # The terminal record must be durable before the lease dies with
+        # this append's group commit window — flush, then release.
+        ledger.flush()
+        now = time.time()
+        ledger.lease("release", unit.key, lease_id, worker_id, now, now)
+        executed += 1

@@ -1,0 +1,184 @@
+"""Lease record replay semantics and the group-commit fsync knob.
+
+The lease state machine must be a pure function of the file content — no
+reader clock — so every test here asserts on ``Ledger.replay()`` after
+appending records with explicit embedded timestamps.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import Ledger, new_lease_id
+
+
+def _ledger(tmp_path, **kw):
+    return Ledger(tmp_path / "run.jsonl", **kw)
+
+
+class TestLeaseReplay:
+    def test_claim_grants_and_release_clears(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.lease("claim", "k", "L1", worker=0, now=10.0, deadline=40.0)
+        state = ledger.replay()
+        assert state.leases["k"]["lease_id"] == "L1"
+        assert state.lease_grants == {"k": 1}
+        assert not state.claimable("k", now=20.0)
+
+        ledger.lease("release", "k", "L1", worker=0, now=20.0, deadline=20.0)
+        state = ledger.replay()
+        assert "k" not in state.leases
+        assert state.claimable("k", now=20.0)
+
+    def test_duplicate_claim_race_first_wins(self, tmp_path):
+        # Two workers race a claim; O_APPEND order decides: first in the
+        # file wins, the second claim is void.
+        ledger = _ledger(tmp_path)
+        ledger.lease("claim", "k", "A", worker=0, now=10.0, deadline=40.0)
+        ledger.lease("claim", "k", "B", worker=1, now=10.01, deadline=40.01)
+        state = ledger.replay()
+        assert state.leases["k"]["lease_id"] == "A"
+        assert state.lease_grants == {"k": 1}
+
+    def test_expired_lease_is_reclaimed_exactly_once(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.lease("claim", "k", "dead", worker=0, now=10.0, deadline=11.0)
+        # Two competing reclaims after expiry: again first-in-file wins.
+        ledger.lease("claim", "k", "R1", worker=1, now=12.0, deadline=42.0)
+        ledger.lease("claim", "k", "R2", worker=2, now=12.5, deadline=42.5)
+        state = ledger.replay()
+        assert state.leases["k"]["lease_id"] == "R1"
+        assert state.lease_grants["k"] == 2  # original + one reclamation
+
+    def test_unexpired_lease_blocks_reclaim(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.lease("claim", "k", "A", worker=0, now=10.0, deadline=40.0)
+        ledger.lease("claim", "k", "B", worker=1, now=39.9, deadline=70.0)
+        assert _ledger(tmp_path).replay().leases["k"]["lease_id"] == "A"
+
+    def test_heartbeat_extends_only_the_active_lease(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.lease("claim", "k", "A", worker=0, now=10.0, deadline=12.0)
+        ledger.lease("heartbeat", "k", "A", worker=0, now=11.0, deadline=14.0)
+        # A stale heartbeat from a lost lease changes nothing.
+        ledger.lease("heartbeat", "k", "ghost", worker=9, now=11.5, deadline=99.0)
+        state = ledger.replay()
+        assert state.leases["k"]["deadline"] == 14.0
+        # The heartbeat kept the lease alive past its original deadline...
+        assert not state.claimable("k", now=13.0)
+        # ...but expiry still applies to the extended deadline.
+        assert state.claimable("k", now=15.0)
+
+    def test_own_reclaim_is_idempotent(self, tmp_path):
+        # A worker re-claiming its own lease (e.g. after a torn heartbeat)
+        # is granted without counting as a reclamation by someone else.
+        ledger = _ledger(tmp_path)
+        ledger.lease("claim", "k", "A", worker=0, now=10.0, deadline=40.0)
+        ledger.lease("claim", "k", "A", worker=0, now=20.0, deadline=50.0)
+        state = ledger.replay()
+        assert state.leases["k"]["lease_id"] == "A"
+        assert state.leases["k"]["deadline"] == 50.0
+
+    def test_terminal_record_clears_lease_and_ignores_stale_ops(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.lease("claim", "k", "A", worker=0, now=10.0, deadline=40.0)
+        ledger.unit("k", "ok", {"v": 1}, attempts=1, seconds=0.1)
+        # Stale lease traffic on a finished key is ignored entirely.
+        ledger.lease("claim", "k", "B", worker=1, now=50.0, deadline=80.0)
+        ledger.lease("heartbeat", "k", "B", worker=1, now=51.0, deadline=81.0)
+        state = ledger.replay()
+        assert "k" not in state.leases
+        assert state.lease_grants == {"k": 1}
+        assert state.units["k"]["status"] == "ok"
+
+    def test_retry_marker_voids_failed_record_once(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.unit("k", "failed", None, attempts=3, seconds=0.1)
+        ledger.retry("k")
+        state = ledger.replay()
+        assert "k" not in state.units  # claimable again
+        ledger.unit("k", "ok", {"v": 2}, attempts=1, seconds=0.1)
+        state = ledger.replay()
+        assert state.units["k"]["status"] == "ok"
+        # A retry marker never voids a success.
+        ledger.retry("k")
+        assert _ledger(tmp_path).replay().units["k"]["status"] == "ok"
+
+    def test_bad_lease_op_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            _ledger(tmp_path).lease("steal", "k", "A", worker=0, now=0.0, deadline=1.0)
+
+    def test_lease_ids_are_unique(self):
+        assert new_lease_id() != new_lease_id()
+
+
+class TestGroupCommit:
+    def test_fsync_every_bounds_unsynced_backlog(self, tmp_path):
+        ledger = _ledger(tmp_path, fsync_every=5)
+        for i in range(13):
+            ledger.unit(f"k{i}", "ok", {"v": i}, attempts=1, seconds=0.0)
+            assert ledger.unsynced_records <= 4  # at most K-1 after any append
+        assert ledger.unsynced_records == 3  # 13 = 2 commits of 5, 3 pending
+        ledger.flush()
+        assert ledger.unsynced_records == 0
+        assert ledger.synced_bytes == (tmp_path / "run.jsonl").stat().st_size
+
+    def test_crash_loses_at_most_last_k_records_and_resumes(self, tmp_path):
+        """Emulated power loss at the worst instant: everything after the
+        last group commit vanishes; replay of the survivors is clean and a
+        resumed run re-executes exactly the dropped units."""
+        from repro.runner import Runner, WorkUnit
+
+        path = tmp_path / "run.jsonl"
+        ledger = Ledger(path, fsync_every=4)
+        for i in range(10):
+            ledger.unit(f"grp/-/-/u{i}/-", "ok", {"v": i}, attempts=1, seconds=0.0)
+        # Power loss: only fsynced bytes survive.  10 appends with K=4
+        # means 8 are durable and the last 2 are in the loss window.
+        assert path.stat().st_size > ledger.synced_bytes
+        with open(path, "r+b") as handle:
+            handle.truncate(ledger.synced_bytes)
+
+        state = Ledger(path).replay()
+        assert state.torn_lines == 0  # group commit loses whole lines only
+        survived = {f"grp/-/-/u{i}/-" for i in range(8)}
+        assert state.completed() == survived
+
+        calls = []
+        units = [
+            WorkUnit(experiment="grp", attack=f"u{i}", fn=lambda i=i: (calls.append(i), {"v": i})[1])
+            for i in range(10)
+        ]
+        result = Runner(ledger=path).run(units)
+        assert result.ok
+        assert calls == [8, 9]  # exactly the dropped tail re-executes
+        assert len(result.replayed) == 8
+
+    def test_default_remains_fsync_per_record(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.unit("k", "ok", {}, attempts=1, seconds=0.0)
+        assert ledger.unsynced_records == 0
+
+    def test_fsync_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            _ledger(tmp_path, fsync_every=0)
+
+    def test_threaded_appends_interleave_whole_lines(self, tmp_path):
+        # The pool's heartbeat thread shares the ledger with the executor.
+        import threading
+
+        ledger = _ledger(tmp_path, fsync_every=8)
+
+        def spam(worker):
+            for i in range(50):
+                ledger.lease("heartbeat", f"k{worker}", f"L{worker}", worker, float(i), float(i + 1))
+
+        threads = [threading.Thread(target=spam, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ledger.close()
+        lines = (tmp_path / "run.jsonl").read_text().splitlines()
+        assert len(lines) == 200
+        assert all(json.loads(line)["kind"] == "lease" for line in lines)

@@ -1,0 +1,177 @@
+"""WorkerPool correctness on synthetic plans (no chaos).
+
+Units execute in forked children, so cross-process assertions go through
+two channels the fork shares: the ledger itself, and an ``O_APPEND``
+marker file each unit appends its key to (one line per actual execution —
+the same atomic-append trick the ledger uses).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    FailurePolicy,
+    Ledger,
+    PoolConfig,
+    Runner,
+    WorkerPool,
+    WorkUnit,
+    fork_available,
+)
+
+pytestmark = pytest.mark.skipif(not fork_available(), reason="pool workers require fork")
+
+
+def make_units(n, marker_path, experiment="pool", sleep=0.0):
+    """Synthetic units: payload is a pure function of the key (plan contract)."""
+    units = []
+    for i in range(n):
+
+        def fn(i=i):
+            import time
+
+            if sleep:
+                time.sleep(sleep)
+            fd = os.open(str(marker_path), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+            os.write(fd, f"{experiment}/-/-/u{i}/-\n".encode())
+            os.close(fd)
+            rng = np.random.default_rng(i)
+            return {"value": float(rng.standard_normal()), "index": i}
+
+        units.append(WorkUnit(experiment=experiment, attack=f"u{i}", fn=fn))
+    return units
+
+
+def executions(marker_path):
+    """Per-key actual-execution counts from the marker file."""
+    if not marker_path.exists():
+        return {}
+    counts = {}
+    for line in marker_path.read_text().splitlines():
+        counts[line] = counts.get(line, 0) + 1
+    return counts
+
+
+def payloads(result):
+    return {key: rec["payload"] for key, rec in result.records.items()}
+
+
+def pool(tmp_path, workers=2, **kw):
+    config = PoolConfig(workers=workers, lease_ttl=kw.pop("lease_ttl", 10.0),
+                        poll_interval=0.02, **kw)
+    return WorkerPool(tmp_path / "pool.jsonl", policy=FailurePolicy(), config=config)
+
+
+def test_pool_matches_sequential_run(tmp_path):
+    units = make_units(8, tmp_path / "marks")
+    result = pool(tmp_path, workers=2).run(units, resume=False)
+    assert result.ok
+    assert sorted(result.executed) == sorted(u.key for u in units)
+    assert result.replayed == []
+
+    sequential = Runner(ledger=tmp_path / "seq.jsonl").run(make_units(8, tmp_path / "seq-marks"))
+    assert payloads(result) == payloads(sequential)
+    # Every unit executed exactly once — leases prevented double work.
+    assert executions(tmp_path / "marks") == {u.key: 1 for u in units}
+
+
+def test_pool_resume_never_reexecutes(tmp_path):
+    marker = tmp_path / "marks"
+    units = make_units(6, marker)
+    first = pool(tmp_path).run(units, resume=False)
+    assert first.ok
+
+    resumed = pool(tmp_path).run(units, resume=True)
+    assert resumed.ok
+    assert resumed.executed == []
+    assert sorted(resumed.replayed) == sorted(u.key for u in units)
+    assert payloads(resumed) == payloads(first)
+    assert executions(marker) == {u.key: 1 for u in units}  # still once each
+
+
+def test_pool_partial_resume_executes_only_missing(tmp_path):
+    marker = tmp_path / "marks"
+    units = make_units(6, marker)
+    # Seed the ledger with half the units via a sequential run.
+    seq = Runner(ledger=tmp_path / "pool.jsonl").run(units[:3])
+    assert seq.ok
+
+    result = pool(tmp_path).run(units, resume=True)
+    assert result.ok
+    assert sorted(result.replayed) == sorted(u.key for u in units[:3])
+    assert sorted(result.executed) == sorted(u.key for u in units[3:])
+    # One execution per unit across both runs: resume replayed the seeds.
+    assert executions(marker) == {u.key: 1 for u in units}
+
+
+def test_pool_workers_1_degenerates_cleanly(tmp_path):
+    units = make_units(4, tmp_path / "marks")
+    result = pool(tmp_path, workers=1).run(units, resume=False)
+    assert result.ok
+    assert len(result.executed) == 4
+    state = Ledger(tmp_path / "pool.jsonl").replay()
+    assert all(count == 1 for count in state.lease_grants.values())
+
+
+def test_pool_retry_failed_voids_failed_records(tmp_path):
+    ledger_path = tmp_path / "pool.jsonl"
+    units = make_units(4, tmp_path / "marks")
+    with Ledger(ledger_path) as ledger:
+        ledger.unit(units[0].key, "failed", None, attempts=3, seconds=0.1,
+                    failure={"kind": "InjectedError"})
+        ledger.unit(units[1].key, "ok", {"value": 123.0, "index": 1}, attempts=1, seconds=0.1)
+
+    # Without retry_failed the failure is replayed verbatim.
+    kept = pool(tmp_path).run(units, resume=True)
+    assert kept.failed == [units[0].key]
+
+    retried = pool(tmp_path).run(units, resume=True, retry_failed=True)
+    assert retried.ok
+    assert units[0].key in retried.executed  # re-executed this run
+    assert units[1].key in retried.replayed  # successes always replay
+    assert retried.records[units[1].key]["payload"] == {"value": 123.0, "index": 1}
+
+
+def test_pool_fresh_run_truncates(tmp_path):
+    units = make_units(3, tmp_path / "marks")
+    assert pool(tmp_path).run(units, resume=False).ok
+    second = pool(tmp_path).run(units, resume=False)
+    assert second.ok
+    assert len(second.executed) == 3
+    assert second.replayed == []
+    assert executions(tmp_path / "marks") == {u.key: 2 for u in units}
+
+
+def test_pool_journals_lifecycle_events(tmp_path):
+    units = make_units(3, tmp_path / "marks")
+    pool(tmp_path, workers=2).run(units, resume=False)
+    events = [e["event"] for e in Ledger(tmp_path / "pool.jsonl").replay().events]
+    assert "pool-start" in events and "pool-end" in events
+    assert events.count("worker-done") == 2
+    end = next(e for e in Ledger(tmp_path / "pool.jsonl").replay().events
+               if e["event"] == "pool-end")
+    assert end["executed"] == 3 and end["failed"] == 0 and end["pending"] == 0
+    assert end["worker_exits"] == [0, 0]
+
+
+def test_pool_group_commit_end_state_is_durable(tmp_path):
+    units = make_units(5, tmp_path / "marks")
+    result = pool(tmp_path, workers=2, fsync_every=8).run(units, resume=False)
+    assert result.ok
+    # Terminal records are flushed before lease release, so every unit
+    # record is on disk even though events may ride the commit window.
+    lines = [json.loads(l) for l in (tmp_path / "pool.jsonl").read_text().splitlines()]
+    unit_keys = {r["key"] for r in lines if r.get("kind") == "unit"}
+    assert unit_keys == {u.key for u in units}
+
+
+def test_pool_config_validation():
+    with pytest.raises(ValueError):
+        PoolConfig(workers=0)
+    with pytest.raises(ValueError):
+        PoolConfig(lease_ttl=0.0)
+    assert PoolConfig(lease_ttl=8.0).heartbeat_seconds == 2.0
+    assert PoolConfig(heartbeat_interval=0.5).heartbeat_seconds == 0.5

@@ -1,0 +1,177 @@
+"""Chaos: worker death and wedged workers under the lease-based pool.
+
+``sigkill`` is a *real* SIGKILL — no exception, no ``finally``, no lease
+release — so recovery can only come from lease expiry and reclamation by a
+survivor.  ``hb-stall`` models the nastier case: a worker that is alive
+and computing but has stopped heartbeating, whose unit is reclaimed *while
+it is still running* and therefore executes twice.  Both must leave a
+ledger whose replay is complete, correct and byte-identical to a clean
+run's payloads.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    FailurePolicy,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    Ledger,
+    PoolConfig,
+    WorkerPool,
+    WorkUnit,
+    fork_available,
+)
+
+pytestmark = [
+    pytest.mark.chaos,
+    pytest.mark.skipif(not fork_available(), reason="pool workers require fork"),
+]
+
+
+def make_units(n, marker_path, slow=(), slow_seconds=1.2):
+    """Synthetic units; indices in ``slow`` sleep long enough to outlive a ttl."""
+    units = []
+    for i in range(n):
+
+        def fn(i=i):
+            if i in slow:
+                time.sleep(slow_seconds)
+            else:
+                time.sleep(0.01)
+            fd = os.open(str(marker_path), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+            os.write(fd, f"chaos/-/-/u{i}/-\n".encode())
+            os.close(fd)
+            return {"value": float(np.random.default_rng(i).standard_normal()), "index": i}
+
+        units.append(WorkUnit(experiment="chaos", attack=f"u{i}", fn=fn))
+    return units
+
+
+def executions(marker_path):
+    counts = {}
+    if marker_path.exists():
+        for line in marker_path.read_text().splitlines():
+            counts[line] = counts.get(line, 0) + 1
+    return counts
+
+
+def run_pool(tmp_path, units, plan=None, workers=2, lease_ttl=0.5, name="pool.jsonl"):
+    factory = None
+    if plan is not None:
+        factory = lambda worker_id: FaultInjector(plan, worker_id)  # noqa: E731
+    pool = WorkerPool(
+        tmp_path / name,
+        policy=FailurePolicy(),
+        config=PoolConfig(workers=workers, lease_ttl=lease_ttl, poll_interval=0.02),
+        injector_factory=factory,
+    )
+    return pool
+
+
+def test_sigkill_mid_lease_is_reclaimed_exactly_once(tmp_path):
+    """Worker 0 is SIGKILLed after claiming its first unit: the lease
+    expires, worker 1 reclaims it, and the run completes with every unit
+    executed exactly once."""
+    marker = tmp_path / "marks"
+    units = make_units(6, marker)
+    plan = FaultPlan(faults=(Fault(kind="sigkill", unit_index=0, worker=0),), seed=7)
+
+    result = run_pool(tmp_path, units, plan).run(units, resume=False)
+    assert result.ok
+    assert sorted(result.records) == sorted(u.key for u in units)
+    # The kill fired before execution, so even the killed worker's claimed
+    # unit ran exactly once — under the reclaiming worker's lease.
+    assert executions(marker) == {u.key: 1 for u in units}
+
+    state = Ledger(tmp_path / "pool.jsonl").replay()
+    reclaimed = {k for k, n in state.lease_grants.items() if n == 2}
+    assert len(reclaimed) == 1  # exactly the orphaned unit
+    assert all(n in (1, 2) for n in state.lease_grants.values())
+    end = next(e for e in state.events if e["event"] == "pool-end")
+    assert sorted(end["worker_exits"]) == [-9, 0]  # SIGKILL is visible to the parent
+
+
+@settings(max_examples=6, deadline=None)
+@given(kill_at=st.integers(min_value=0, max_value=4), seed=st.integers(0, 999))
+def test_sigkill_at_any_ordinal_never_loses_or_duplicates_work(
+    tmp_path_factory, kill_at, seed
+):
+    """Property: killing worker 0 before its ``kill_at``-th executed unit —
+    any ordinal, including ones it never reaches — the pool still finishes
+    every unit exactly once, with at most one reclamation."""
+    tmp_path = tmp_path_factory.mktemp("sigkill")
+    marker = tmp_path / "marks"
+    units = make_units(6, marker)
+    plan = FaultPlan(faults=(Fault(kind="sigkill", unit_index=kill_at, worker=0),), seed=seed)
+
+    result = run_pool(tmp_path, units, plan, lease_ttl=0.4).run(units, resume=False)
+    assert result.ok
+    assert sorted(result.records) == sorted(u.key for u in units)
+    assert executions(marker) == {u.key: 1 for u in units}
+
+    state = Ledger(tmp_path / "pool.jsonl").replay()
+    grants = list(state.lease_grants.values())
+    assert all(n in (1, 2) for n in grants)
+    assert sum(n == 2 for n in grants) <= 1  # one orphan at most (maybe zero:
+    # worker 1 can drain the plan before worker 0 reaches the kill ordinal)
+
+
+def test_heartbeat_stall_reclaims_midexecution_unit(tmp_path):
+    """A wedged-but-alive worker: heartbeats stop, the lease expires while
+    the unit is *still executing*, and a survivor reclaims it.  The unit
+    runs twice — the payload-purity contract is what keeps the ledger
+    correct — and the stalled worker's late terminal record is harmless."""
+    marker = tmp_path / "marks"
+    # Unit 0 is slow (1.2s >> ttl 0.4); the worker-id stagger pick gives it
+    # to worker 0, whose ordinal-0 heartbeats the fault suppresses.
+    units = make_units(6, marker, slow=(0,))
+    plan = FaultPlan(faults=(Fault(kind="hb-stall", unit_index=0, worker=0),), seed=3)
+
+    result = run_pool(tmp_path, units, plan, lease_ttl=0.4).run(units, resume=False)
+    assert result.ok
+    assert sorted(result.records) == sorted(u.key for u in units)
+
+    state = Ledger(tmp_path / "pool.jsonl").replay()
+    slow_key = units[0].key
+    assert state.lease_grants[slow_key] == 2  # reclaimed mid-execution
+    assert all(n == 1 for k, n in state.lease_grants.items() if k != slow_key)
+    counts = executions(marker)
+    assert counts[slow_key] == 2  # genuinely ran twice...
+    assert all(counts[u.key] == 1 for u in units[1:])
+    # ...and both executions journaled the identical pure payload.
+    assert result.records[slow_key]["payload"] == {
+        "value": float(np.random.default_rng(0).standard_normal()),
+        "index": 0,
+    }
+
+
+def test_sigkill_then_resume_completes_without_reexecution(tmp_path):
+    """Kill both workers early, then resume the same ledger: the second
+    pool replays everything terminal and finishes only the remainder."""
+    marker = tmp_path / "marks"
+    units = make_units(6, marker)
+    plan = FaultPlan(
+        faults=(
+            Fault(kind="sigkill", unit_index=1, worker=0),
+            Fault(kind="sigkill", unit_index=1, worker=1),
+        ),
+        seed=11,
+    )
+    first = run_pool(tmp_path, units, plan).run(units, resume=False)
+    done = set(first.records)
+    assert len(done) < len(units)  # both workers died before the plan drained
+
+    resumed = run_pool(tmp_path, units, plan=None).run(units, resume=True)
+    assert resumed.ok
+    assert sorted(resumed.replayed) == sorted(done)
+    assert sorted(resumed.executed) == sorted({u.key for u in units} - done)
+    # Each worker journaled its ordinal-0 unit once before dying at
+    # ordinal 1; the resume executed the rest exactly once.
+    assert executions(marker) == {u.key: 1 for u in units}

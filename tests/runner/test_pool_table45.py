@@ -1,0 +1,64 @@
+"""Acceptance: a 4-worker pool run of Table 4/5 is byte-identical to a
+sequential run — same assembled rows, same coverage — and a resumed pool
+replays without re-executing.
+
+Chunk payloads are pure functions of their keys (order-independent seeded
+noise since the chunked-classification refactor), which is exactly what
+makes worker scheduling — nondeterministic by nature — invisible in the
+output.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.eval import build_context, scale_config
+from repro.runner import FailurePolicy, PoolConfig, Runner, WorkerPool, fork_available
+from repro.runner import experiments as plans
+
+pytestmark = [
+    pytest.mark.chaos,
+    pytest.mark.skipif(not fork_available(), reason="pool workers require fork"),
+]
+
+ATTACKS = ("cw-l2",)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # Same cheap context as the resume acceptance test: reduced RC votes,
+    # cached pools/models from .artifacts.
+    cheap = dataclasses.replace(scale_config("fast"), rc_samples=100)
+    return build_context("mnist-fast", cheap)
+
+
+def _rows(result, units):
+    return json.dumps(plans.assemble_table45(result, units, attacks=ATTACKS), sort_keys=True)
+
+
+def test_pool_run_is_byte_identical_to_sequential(ctx, tmp_path):
+    units = plans.plan_table45(ctx, attacks=ATTACKS)
+    assert len(units) > 10
+
+    sequential = Runner(ledger=tmp_path / "seq.jsonl").run(units)
+    assert sequential.ok
+
+    pool = WorkerPool(
+        tmp_path / "pool.jsonl",
+        policy=FailurePolicy(),
+        config=PoolConfig(workers=4, lease_ttl=60.0, poll_interval=0.02),
+    )
+    parallel = pool.run(units, resume=False)
+    assert parallel.ok
+    assert sorted(parallel.executed) == sorted(u.key for u in units)
+
+    assert _rows(parallel, units) == _rows(sequential, units)
+    assert parallel.coverage(units) == sequential.coverage(units)
+
+    # A resumed pool replays every unit without executing a single one,
+    # and still assembles the identical table.
+    resumed = pool.run(units, resume=True)
+    assert resumed.executed == []
+    assert sorted(resumed.replayed) == sorted(u.key for u in units)
+    assert _rows(resumed, units) == _rows(sequential, units)

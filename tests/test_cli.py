@@ -20,6 +20,31 @@ class TestParser:
         assert args.attack_name == "cw-l2"
         assert not args.untargeted
 
+    def test_run_worker_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workers == 1
+        assert args.lease_ttl == 30.0
+        assert not args.resume
+
+    def test_run_workers_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--only", "table45", "--workers", "4", "--lease-ttl", "5", "--resume"]
+        )
+        assert args.workers == 4
+        assert args.lease_ttl == 5.0
+        assert args.resume
+
+    def test_bench_requires_compare(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "--compare", "BENCH_x.json"])
+        assert args.compare == "BENCH_x.json"
+        assert args.current is None
+        assert args.threshold == 0.10
+        assert not args.warn_only
+
 
 class TestCommands:
     def test_info_lists_registries(self, capsys):
