@@ -47,6 +47,13 @@ echo "== pool-scaling benchmark (smoke) =="
 python benchmarks/bench_pool_scaling.py --smoke > /dev/null
 echo "ok"
 
+echo "== serve smoke (threaded coalescing, backpressure, bitwise equivalence) =="
+python scripts/serve_smoke.py
+
+echo "== serve-latency benchmark (smoke) =="
+python benchmarks/bench_serve_latency.py --smoke > /dev/null
+echo "ok"
+
 echo "== perf smoke (bench regression gate vs committed baseline, warn-only) =="
 # A --smoke run is context-mismatched with the committed full baseline by
 # design; the gate reports drift without failing CI.  Full runs gate hard:
@@ -54,3 +61,5 @@ echo "== perf smoke (bench regression gate vs committed baseline, warn-only) =="
 #   python -m repro bench --compare BENCH_plan_throughput.json /tmp/bench.json
 python benchmarks/bench_plan_throughput.py --smoke --out /tmp/bench_plan_smoke.json > /dev/null
 python -m repro bench --compare BENCH_plan_throughput.json /tmp/bench_plan_smoke.json --warn-only
+python benchmarks/bench_serve_latency.py --smoke --out /tmp/bench_serve_smoke.json > /dev/null
+python -m repro bench --compare BENCH_serve_latency.json /tmp/bench_serve_smoke.json --warn-only

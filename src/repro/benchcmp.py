@@ -53,6 +53,21 @@ def metric_direction(name: str) -> str:
         return "higher"
     if leaf.endswith("seconds"):
         return "lower"
+    # Latency-style names: milliseconds, percentile leaves (p50/p95/p99,
+    # bare or with a unit suffix), and anything naming latency outright.
+    if leaf.endswith("_ms") or "latency" in leaf:
+        return "lower"
+    # A percentile leaf ends in pNN, optionally followed by one unit
+    # suffix ("serve_p95", "tail_p99_us", bare "p50").  The token must be
+    # terminal: "top_p5_accuracy" is an accuracy, not a latency.
+    stem = leaf
+    for unit in ("_ms", "_us", "_ns", "_sec", "_s"):
+        if stem.endswith(unit):
+            stem = stem[: -len(unit)]
+            break
+    tail = stem.rsplit("_", 1)[-1]
+    if len(tail) >= 2 and tail[0] == "p" and tail[1:].isdigit():
+        return "lower"
     return "info"
 
 

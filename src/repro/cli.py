@@ -16,6 +16,11 @@ Commands
 * ``bench`` — diff two persisted ``BENCH_*.json`` results and classify
   per-case regressions/improvements against a relative threshold.
 * ``verify`` — differential verification of the fused engines vs autograd.
+* ``serve`` — start the threaded online service and push a synthetic
+  request stream through it (micro-batching, detector gating, fused
+  correction), printing latency percentiles and serve counters.
+* ``loadgen`` — deterministic offline-vs-coalesced comparison at a given
+  adversarial fraction, asserting served labels match ``DCN.classify``.
 
 All heavy artifacts go through the ``.artifacts`` cache, so repeated
 invocations are fast.
@@ -125,6 +130,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="both",
         help="engine compute dtype(s) to cross-check",
     )
+
+    serve = sub.add_parser("serve", help="run the threaded online service on a synthetic stream")
+    serve.add_argument("--dataset", default=None, help="defaults to the scale's MNIST substitute")
+    serve.add_argument("--requests", type=int, default=256)
+    serve.add_argument("--adv-fraction", type=float, default=0.05)
+    serve.add_argument("--min-size", type=int, default=1, help="smallest request, in rows")
+    serve.add_argument("--max-size", type=int, default=4, help="largest request, in rows")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-batch", type=int, default=64, help="row budget per coalesced dispatch")
+    serve.add_argument("--max-queue", type=int, default=128, help="admission bound, in requests")
+    serve.add_argument(
+        "--max-delay", type=float, default=0.002,
+        help="seconds the dispatcher holds a partial batch open",
+    )
+    serve.add_argument("--overload", choices=("shed", "degrade"), default="shed")
+    serve.add_argument("--burst", type=int, default=32, help="requests submitted per arrival burst")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="offline vs coalesced serving comparison on a deterministic stream"
+    )
+    loadgen.add_argument("--dataset", default=None, help="defaults to the scale's MNIST substitute")
+    loadgen.add_argument("--requests", type=int, default=192)
+    loadgen.add_argument("--adv-fraction", type=float, default=0.05)
+    loadgen.add_argument("--min-size", type=int, default=1, help="smallest request, in rows")
+    loadgen.add_argument("--max-size", type=int, default=1, help="largest request, in rows")
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--max-batch", type=int, default=64)
+    loadgen.add_argument("--window", type=int, default=64, help="simultaneous arrivals per window")
 
     return parser
 
@@ -381,6 +414,83 @@ def _cmd_verify(seed: int, cases: int, dtype: str) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_stream(dataset_name: str | None, requests: int, adv_fraction: float,
+                  min_size: int, max_size: int, seed: int):
+    """Build (dcn, stream) for the serve/loadgen commands."""
+    from .eval import build_context, scale_config
+    from .serve import StreamSpec, build_stream
+
+    scale = scale_config()
+    ctx = build_context(dataset_name or scale.mnist, scale)
+    adv = None
+    if adv_fraction > 0:
+        adv, _, _ = ctx.pool("cw-l2").successful()
+    spec = StreamSpec(
+        requests=requests, adv_fraction=adv_fraction,
+        min_size=min_size, max_size=max_size, seed=seed,
+    )
+    return ctx.dcn, build_stream(ctx.dataset.x_test, adv, spec)
+
+
+def _cmd_serve(dataset_name: str | None, requests: int, adv_fraction: float,
+               min_size: int, max_size: int, seed: int, max_batch: int,
+               max_queue: int, max_delay: float, overload: str, burst: int) -> int:
+    import time
+
+    from .serve import DCNService
+
+    dcn, stream = _serve_stream(
+        dataset_name, requests, adv_fraction, min_size, max_size, seed
+    )
+    statuses: dict[str, int] = {}
+    start = time.perf_counter()
+    with DCNService(
+        dcn, max_batch=max_batch, max_queue=max_queue,
+        max_delay=max_delay, overload=overload,
+    ) as service:
+        for begin in range(0, len(stream), max(1, burst)):
+            tickets = [service.submit(req.x) for req in stream[begin : begin + max(1, burst)]]
+            for ticket in tickets:
+                result = ticket.wait(60.0)
+                statuses[result.status] = statuses.get(result.status, 0) + 1
+    seconds = time.perf_counter() - start
+
+    latencies = service.latencies.summary()
+    print(f"served {requests} requests in {seconds:.3f}s "
+          f"({requests / seconds:.0f} req/s, {service.counters.examples / seconds:.0f} examples/s)")
+    print("statuses: " + ", ".join(f"{k}={v}" for k, v in sorted(statuses.items())))
+    print(f"latency: p50 {latencies['p50_ms']:.2f} ms, p95 {latencies['p95_ms']:.2f} ms")
+    for key, value in service.counters.as_dict().items():
+        print(f"  {key:>18}: {value}")
+    return 0
+
+
+def _cmd_loadgen(dataset_name: str | None, requests: int, adv_fraction: float,
+                 min_size: int, max_size: int, seed: int, max_batch: int,
+                 window: int) -> int:
+    from .serve import DCNService, run_coalesced, run_offline, summarize_latencies
+
+    dcn, stream = _serve_stream(
+        dataset_name, requests, adv_fraction, min_size, max_size, seed
+    )
+    offline = run_offline(dcn, stream)
+    service = DCNService(dcn, max_batch=max_batch, max_queue=4 * len(stream))
+    coalesced = run_coalesced(service, stream, window=window)
+    equal = all(
+        a is not None and b is not None and np.array_equal(a, b)
+        for a, b in zip(offline.labels, coalesced.labels)
+    )
+    lat = summarize_latencies(coalesced.latencies_s)
+    print(f"offline:   {offline.seconds:.3f}s ({offline.requests_per_sec:.0f} req/s)")
+    print(f"coalesced: {coalesced.seconds:.3f}s ({coalesced.requests_per_sec:.0f} req/s)"
+          f"  p50 {lat['p50_ms']:.2f} ms  p95 {lat['p95_ms']:.2f} ms")
+    print(f"speedup:   {offline.seconds / coalesced.seconds:.2f}x")
+    print(f"labels bitwise-identical to offline DCN.classify: {equal}")
+    print(f"flagged {service.counters.flagged} rows across {service.counters.batches} dispatches "
+          f"(plan hits/misses {service.counters.plan_hits}/{service.counters.plan_misses})")
+    return 0 if equal else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -412,6 +522,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args.output, args.light)
     if args.command == "verify":
         return _cmd_verify(args.seed, args.cases, args.dtype)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.dataset, args.requests, args.adv_fraction, args.min_size,
+            args.max_size, args.seed, args.max_batch, args.max_queue,
+            args.max_delay, args.overload, args.burst,
+        )
+    if args.command == "loadgen":
+        return _cmd_loadgen(
+            args.dataset, args.requests, args.adv_fraction, args.min_size,
+            args.max_size, args.seed, args.max_batch, args.window,
+        )
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..defenses.region import call_rng, region_vote
+from ..defenses.region import region_vote_fused
 from ..nn.network import Network
 
 __all__ = ["Corrector"]
@@ -39,11 +39,29 @@ class Corrector:
     def correct(self, x: np.ndarray) -> np.ndarray:
         """Recover labels for a batch of flagged inputs.
 
-        Deterministic in ``(seed, x)``: the vote generator is derived per
-        call from the input digest, so the recovered labels do not depend
-        on how many corrections preceded this one.
+        Deterministic in ``(seed, row)``: every input's vote noise comes
+        from its own :func:`~repro.defenses.region.input_rng` stream, so a
+        recovered label depends neither on how many corrections preceded
+        this one nor on which other inputs share its batch.  That makes
+        :meth:`correct` and :meth:`correct_fused` bitwise-interchangeable.
         """
-        if len(x) == 0:
-            return np.array([], dtype=int)
-        x = np.asarray(x, dtype=np.float64)
-        return region_vote(self.network, x, self.radius, self.samples, call_rng(self.seed, x))
+        return region_vote_fused(self.network, x, self.radius, self.samples, self.seed)
+
+    def correct_fused(self, x: np.ndarray, pad_chunks: bool = False) -> np.ndarray:
+        """Recover labels for flagged rows fused from *many* requests.
+
+        One noise draw, one engine pass, one vectorised vote over the
+        stacked ``(n_flagged, *input_shape)`` rows — instead of one
+        region vote per originating request.  Labels are bitwise-identical
+        to per-request :meth:`correct` on the same rows.
+
+        ``pad_chunks`` quantises the sample chunks' flat shapes onto the
+        power-of-two ladder.  The corrector's flat shapes are already
+        bounded (at most ``per_chunk`` distinct sizes), so leave this off
+        when the serving engine's plan budget covers them — padding then
+        only wastes engine compute.  Turn it on when the plan budget is
+        tight and compile churn costs more than the padded rows.
+        """
+        return region_vote_fused(
+            self.network, x, self.radius, self.samples, self.seed, pad_chunks=pad_chunks
+        )

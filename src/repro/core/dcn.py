@@ -67,7 +67,11 @@ class DCN:
 
         Returns ``(labels, flagged)``.
         """
-        x = np.asarray(x, dtype=np.float64)
+        # No dtype coercion: a float32 batch flows straight into the engine
+        # (which computes in float32 anyway) without an intermediate float64
+        # copy; the corrector canonicalises its own noise streams, so the
+        # labels are identical either way.
+        x = np.asarray(x)
         # One engine pass classifies everything; only flagged inputs pay
         # the corrector's extra m forward passes (the paper's Table 6 win).
         logits = self.network.engine.logits(x)

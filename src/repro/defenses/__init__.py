@@ -4,7 +4,7 @@ from .adversarial_training import AdversariallyTrainedClassifier, train_adversar
 from .base import Defense
 from .distillation import DistilledClassifier, train_distilled
 from .magnet import MagNet, build_autoencoder, train_autoencoder
-from .region import RegionClassifier, region_vote
+from .region import RegionClassifier, region_vote, region_vote_fused
 from .squeezing import FeatureSqueezingDetector, median_smooth, reduce_bit_depth
 from .standard import StandardClassifier
 
@@ -15,6 +15,7 @@ __all__ = [
     "train_distilled",
     "RegionClassifier",
     "region_vote",
+    "region_vote_fused",
     "FeatureSqueezingDetector",
     "reduce_bit_depth",
     "median_smooth",

@@ -17,7 +17,7 @@ import numpy as np
 from ..datasets.dataset import PIXEL_MAX, PIXEL_MIN
 from ..nn.network import Network
 
-__all__ = ["region_vote", "call_rng", "RegionClassifier"]
+__all__ = ["region_vote", "region_vote_fused", "call_rng", "input_rng", "RegionClassifier"]
 
 
 def call_rng(seed: int, x: np.ndarray) -> np.random.Generator:
@@ -32,6 +32,29 @@ def call_rng(seed: int, x: np.ndarray) -> np.random.Generator:
     x = np.ascontiguousarray(x)
     digest = hashlib.sha256(repr((x.shape, str(x.dtype))).encode())
     digest.update(x.tobytes())
+    words = np.frombuffer(digest.digest()[:16], dtype=np.uint32)
+    return np.random.default_rng(np.random.SeedSequence([seed, *map(int, words)]))
+
+
+def input_rng(seed: int, x: np.ndarray) -> np.random.Generator:
+    """Per-*input* generator: a pure function of ``(seed, one example)``.
+
+    Where :func:`call_rng` digests a whole batch (so an input's noise
+    depends on which other inputs share its batch), this digests a single
+    example's canonical ``float64`` bytes.  Two consequences the serving
+    layer depends on:
+
+    * **composition independence** — an input gets the same noise whether
+      it is corrected alone, inside its original request, or fused into a
+      cross-request corrector batch;
+    * **dtype canonicalisation** — a ``float32`` view of the same values
+      hashes identically to its exact ``float64`` widening, so the
+      engine-dtype fast path and the legacy ``float64`` path vote the
+      same way.
+    """
+    row = np.ascontiguousarray(x, dtype=np.float64)
+    digest = hashlib.sha256(repr(row.shape).encode())
+    digest.update(row.tobytes())
     words = np.frombuffer(digest.digest()[:16], dtype=np.uint32)
     return np.random.default_rng(np.random.SeedSequence([seed, *map(int, words)]))
 
@@ -80,6 +103,86 @@ def region_vote(
         labels = engine.predict(flat, batch_size=batch_size, memo=False)
         # One scatter-add replaces the per-row bincount loop: O(1) Python
         # overhead per chunk instead of O(rows).
+        rows = np.repeat(np.arange(start, start + len(chunk)), samples)
+        np.add.at(votes, (rows, labels), 1)
+    return votes.argmax(axis=1)
+
+
+def region_vote_fused(
+    network: Network,
+    x: np.ndarray,
+    radius: float,
+    samples: int,
+    seed: int,
+    batch_size: int = 512,
+    pad_chunks: bool = False,
+    kernel_batch: int = 64,
+) -> np.ndarray:
+    """Majority vote with per-input noise streams — safe to fuse across batches.
+
+    Each input's ``m`` hypercube samples are drawn from :func:`input_rng`,
+    so the returned label for a row is a pure function of ``(seed, row)``
+    alone: stacking flagged rows from many concurrent requests into one
+    fused batch votes bitwise-identically to correcting each request on
+    its own.  This is the corrector kernel behind ``Corrector.correct``
+    and the serving layer's cross-request fusion.
+
+    Parameters
+    ----------
+    batch_size:
+        Rows of sampled points assembled per chunk (bounds noise-buffer
+        memory; ``per_chunk = batch_size // samples`` inputs per chunk).
+    pad_chunks:
+        Quantise each sample chunk's row count onto the power-of-two
+        ladder with zero-row padding, so the flat batches the engine sees
+        take only ``O(log per_chunk)`` distinct shapes instead of one per
+        flagged count (padding predictions are discarded before the vote,
+        which leaves labels unchanged).  Useful when the engine's
+        compiled-plan budget is too tight to keep every flat shape
+        resident; otherwise the padding only wastes predictions.
+    kernel_batch:
+        Sub-batch size the engine runs the flat chunks at.  Per-row
+        logits are invariant to batch splitting, and the engine's kernels
+        are measurably faster in cache-sized batches than in one
+        ``batch_size``-row pass, so the fused vote keeps the large chunk
+        (amortising Python glue) while the kernels run at their sweet
+        spot.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    # Canonical float64: exact for engine-dtype (float32) inputs, and the
+    # dtype the noise arithmetic has always used.
+    x = np.ascontiguousarray(np.asarray(x), dtype=np.float64)
+    n = len(x)
+    if n == 0:
+        return np.array([], dtype=int)
+    num_classes = network.num_classes
+    engine = network.engine
+    votes = np.zeros((n, num_classes), dtype=np.int64)
+
+    per_chunk = max(1, batch_size // max(1, samples))
+    noise = np.empty((per_chunk, samples) + x.shape[1:])
+    for start in range(0, n, per_chunk):
+        chunk = x[start : start + per_chunk]
+        for j in range(len(chunk)):
+            noise[j] = input_rng(seed, chunk[j]).uniform(
+                -radius, radius, size=(samples,) + x.shape[1:]
+            )
+        points = np.clip(chunk[:, None] + noise[: len(chunk)], PIXEL_MIN, PIXEL_MAX)
+        flat = points.reshape((-1,) + x.shape[1:])
+        real = len(flat)
+        if pad_chunks:
+            rows_bucket = 1
+            while rows_bucket < len(chunk):
+                rows_bucket *= 2
+            rows_bucket = min(rows_bucket, per_chunk)
+            if rows_bucket > len(chunk):
+                flat = np.concatenate(
+                    [flat, np.zeros(((rows_bucket - len(chunk)) * samples,) + x.shape[1:])]
+                )
+        labels = engine.predict(flat, batch_size=kernel_batch, memo=False)[:real]
         rows = np.repeat(np.arange(start, start + len(chunk)), samples)
         np.add.at(votes, (rows, labels), 1)
     return votes.argmax(axis=1)

@@ -1,0 +1,42 @@
+"""Online DCN serving: defense-as-a-service over the fused engines.
+
+The offline reproduction runs tables; this package serves live traffic.
+:class:`DCNService` coalesces concurrent classify requests into
+shape-bucketed engine dispatches, routes benign rows straight out through
+the detector gate, and fuses all flagged rows across the batch into one
+``(n_flagged × m)`` corrector vote — with admission control, backpressure
+and per-request telemetry around the hot path.  See DESIGN.md ("Serving
+layer") for the full design and ``python -m repro serve`` for the CLI.
+"""
+
+from .bucketing import bucket_for, bucket_sizes, pad_to_bucket
+from .loadgen import (
+    GeneratedRequest,
+    RunStats,
+    StreamSpec,
+    build_stream,
+    run_coalesced,
+    run_offline,
+    summarize_latencies,
+)
+from .service import OVERLOAD_POLICIES, DCNService, ServeResult, ServeTicket
+from .telemetry import LatencyStats, ServeCounters
+
+__all__ = [
+    "DCNService",
+    "ServeResult",
+    "ServeTicket",
+    "OVERLOAD_POLICIES",
+    "ServeCounters",
+    "LatencyStats",
+    "bucket_sizes",
+    "bucket_for",
+    "pad_to_bucket",
+    "StreamSpec",
+    "GeneratedRequest",
+    "RunStats",
+    "build_stream",
+    "run_offline",
+    "run_coalesced",
+    "summarize_latencies",
+]

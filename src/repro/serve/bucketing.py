@@ -1,0 +1,69 @@
+"""Shape buckets: quantise coalesced batch sizes onto powers of two.
+
+The engines' compiled-plan LRUs (PR 6) are keyed by the *exact* batch
+shape, with a small default capacity (``DEFAULT_PLAN_ENTRIES = 8``).
+Online traffic produces a long tail of distinct batch sizes — a 3-row
+request here, a coalesced 17-row dispatch there — and every novel size is
+a plan compilation plus an LRU eviction.  Quantising dispatch sizes onto
+the power-of-two ladder bounds the number of distinct shapes the serving
+path can ever present to ``log2(max_batch) + 1``, so after warm-up every
+dispatch is a plan hit.
+
+Padding is pad-and-mask: the buffer is filled with zero rows up to the
+bucket size and the padding rows' outputs are discarded.  The engine's
+per-row outputs are invariant to trailing padding (each row's kernels
+reduce over fixed axes), so bucketing never changes served labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bucket_sizes", "bucket_for", "pad_to_bucket"]
+
+
+def bucket_sizes(max_batch: int) -> tuple[int, ...]:
+    """The power-of-two ladder ``1, 2, 4, … , max_batch``.
+
+    ``max_batch`` itself is always included (as the cap) even when it is
+    not a power of two, so a full coalesced dispatch needs no padding.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    sizes = []
+    size = 1
+    while size < max_batch:
+        sizes.append(size)
+        size *= 2
+    sizes.append(max_batch)
+    return tuple(sizes)
+
+
+def bucket_for(n: int, buckets: tuple[int, ...]) -> int:
+    """Smallest bucket that fits ``n`` rows.
+
+    ``n`` must not exceed the largest bucket — the scheduler never
+    coalesces past ``max_batch``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    for size in buckets:
+        if n <= size:
+            return size
+    raise ValueError(f"batch of {n} rows exceeds the largest bucket {buckets[-1]}")
+
+
+def pad_to_bucket(x: np.ndarray, bucket: int) -> np.ndarray:
+    """Zero-pad ``x`` with trailing rows up to ``bucket`` rows.
+
+    Returns ``x`` itself when it already has exactly ``bucket`` rows, so
+    the common full-dispatch case allocates nothing.
+    """
+    n = len(x)
+    if n == bucket:
+        return x
+    if n > bucket:
+        raise ValueError(f"batch of {n} rows does not fit bucket {bucket}")
+    padded = np.zeros((bucket,) + x.shape[1:], dtype=x.dtype)
+    padded[:n] = x
+    return padded

@@ -1,0 +1,175 @@
+"""Deterministic synthetic load for the serving layer.
+
+The paper's Table 6 / Fig. 5 measure defense runtime as a function of the
+*adversarial percentage* of a fixed offline batch.  The load generator
+generalises that axis into sustained traffic: a seeded stream of small
+classify requests whose rows are drawn benign or adversarial with a
+configurable probability, so the same runtime-vs-fraction story can be
+told in throughput and latency-percentile terms against the live service.
+
+Everything is a pure function of ``(pools, StreamSpec)`` — same seed,
+same stream, byte for byte — which is what lets the benchmark assert
+bitwise equivalence between served and offline labels.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dcn import DCN
+from .service import DCNService, ServeResult
+
+__all__ = [
+    "StreamSpec",
+    "GeneratedRequest",
+    "RunStats",
+    "build_stream",
+    "run_offline",
+    "run_coalesced",
+    "summarize_latencies",
+]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Shape of one synthetic request stream."""
+
+    requests: int = 64
+    adv_fraction: float = 0.0  # probability a row is adversarial (table6's axis)
+    min_size: int = 1  # smallest request, in rows
+    max_size: int = 4  # largest request, in rows
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if not 0.0 <= self.adv_fraction <= 1.0:
+            raise ValueError("adv_fraction must be in [0, 1]")
+        if not 1 <= self.min_size <= self.max_size:
+            raise ValueError("need 1 <= min_size <= max_size")
+
+
+@dataclass(frozen=True)
+class GeneratedRequest:
+    """One request: its rows plus which of them were drawn adversarial."""
+
+    x: np.ndarray
+    adv_rows: np.ndarray  # boolean mask over the request's rows
+
+
+def build_stream(
+    benign_x: np.ndarray, adv_x: np.ndarray | None, spec: StreamSpec
+) -> list[GeneratedRequest]:
+    """Generate the deterministic request stream described by ``spec``.
+
+    Benign rows are drawn *without* replacement while the pool lasts
+    (distinct callers send distinct inputs; repeated rows would also let
+    the offline baseline's engine memo short-circuit whole requests,
+    which is a caching story rather than a dispatch story), then the pool
+    reshuffles and wraps.  Adversarial rows — drawn per row with
+    probability ``adv_fraction`` — come from ``adv_x`` with replacement:
+    attack corpora are small and replayed payloads are the realistic
+    case.  ``adv_x`` may be ``None`` only when ``adv_fraction`` is 0.
+    """
+    if len(benign_x) == 0:
+        raise ValueError("benign pool is empty")
+    if spec.adv_fraction > 0 and (adv_x is None or len(adv_x) == 0):
+        raise ValueError("adv_fraction > 0 needs a non-empty adversarial pool")
+    rng = np.random.default_rng(spec.seed)
+    benign_order: list[int] = []
+    stream = []
+    for _ in range(spec.requests):
+        size = int(rng.integers(spec.min_size, spec.max_size + 1))
+        adv_rows = rng.random(size) < spec.adv_fraction
+        x = np.empty((size,) + benign_x.shape[1:], dtype=benign_x.dtype)
+        for j in range(size):
+            if adv_rows[j]:
+                x[j] = adv_x[int(rng.integers(0, len(adv_x)))]
+            else:
+                if not benign_order:
+                    benign_order = list(rng.permutation(len(benign_x)))
+                x[j] = benign_x[benign_order.pop()]
+        stream.append(GeneratedRequest(x=x, adv_rows=adv_rows))
+    return stream
+
+
+@dataclass
+class RunStats:
+    """Wall-clock outcome of one stream run."""
+
+    labels: list[np.ndarray] = field(default_factory=list)
+    statuses: list[str] = field(default_factory=list)
+    seconds: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def requests_per_sec(self) -> float:
+        return len(self.labels) / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def examples_per_sec(self) -> float:
+        rows = sum(len(l) for l in self.labels if l is not None)
+        return rows / self.seconds if self.seconds > 0 else float("inf")
+
+
+def run_offline(
+    dcn: DCN, stream: list[GeneratedRequest], clock=time.perf_counter
+) -> RunStats:
+    """Per-request baseline: each request dispatched alone via ``DCN.classify``.
+
+    This is the pre-serving status quo — every caller pays its own engine
+    dispatch, its own detector forward and its own corrector vote.
+    """
+    stats = RunStats()
+    start = clock()
+    for request in stream:
+        t0 = clock()
+        stats.labels.append(dcn.classify(request.x))
+        stats.latencies_s.append(clock() - t0)
+        stats.statuses.append("ok")
+    stats.seconds = clock() - start
+    return stats
+
+
+def run_coalesced(
+    service: DCNService,
+    stream: list[GeneratedRequest],
+    window: int = 16,
+    clock=time.perf_counter,
+) -> RunStats:
+    """Drive the service in synchronous arrival windows of ``window`` requests.
+
+    Each window models ``window`` callers hitting the service at once; the
+    service coalesces them into bucketed dispatches.  Deterministic, so
+    the benchmark can assert served labels equal the offline baseline's.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    stats = RunStats()
+    start = clock()
+    for begin in range(0, len(stream), window):
+        arrivals = stream[begin : begin + window]
+        results = service.serve_batch([request.x for request in arrivals])
+        for result in results:
+            stats.labels.append(result.labels)
+            stats.statuses.append(result.status)
+            stats.latencies_s.append(result.latency_s)
+    stats.seconds = clock() - start
+    return stats
+
+
+def summarize_latencies(latencies_s: list[float]) -> dict[str, float]:
+    """p50/p95/mean in milliseconds (benchcmp lower-is-better naming)."""
+    if not latencies_s:
+        return {"count": 0.0, "p50_ms": float("nan"), "p95_ms": float("nan"),
+                "mean_ms": float("nan")}
+    arr = np.asarray(latencies_s, dtype=np.float64)
+    return {
+        "count": float(arr.size),
+        "p50_ms": float(np.percentile(arr, 50) * 1e3),
+        "p95_ms": float(np.percentile(arr, 95) * 1e3),
+        "mean_ms": float(arr.mean() * 1e3),
+    }

@@ -1,0 +1,90 @@
+"""Serving telemetry: structured work counters and latency percentiles.
+
+:class:`ServeCounters` follows the engines' counter pattern (PR 1's
+``EngineCounters``): a flat dataclass of cumulative counts with
+``as_dict``/``snapshot``, diffable with
+:func:`repro.nn.engine.counter_delta`.  It is the structured export the
+operator reads — queue pressure, dispatch shapes, detector gate split,
+plan-cache behaviour and backpressure activity in one snapshot.
+
+:class:`LatencyStats` keeps a bounded window of per-request latencies and
+reports the percentiles the SLO story is written in (p50/p95).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+__all__ = ["ServeCounters", "LatencyStats"]
+
+
+@dataclass
+class ServeCounters:
+    """Cumulative work counters of one :class:`~repro.serve.DCNService`."""
+
+    requests: int = 0  # requests admitted (shed requests excluded)
+    examples: int = 0  # rows admitted across those requests
+    batches: int = 0  # coalesced dispatches executed
+    coalesced_requests: int = 0  # requests that shared a dispatch with another
+    pad_rows: int = 0  # bucket-padding rows pushed through the engine
+    flagged: int = 0  # rows the detector routed to the corrector
+    corrected: int = 0  # flagged rows actually corrected (not degraded)
+    shed: int = 0  # requests rejected by admission control
+    degraded: int = 0  # requests served detector-only under overload
+    queue_depth: int = 0  # gauge: requests waiting right now
+    max_queue_depth: int = 0  # high-water mark of the queue
+    plan_hits: int = 0  # engine plan-LRU hits attributed to serving
+    plan_misses: int = 0  # engine plan compilations attributed to serving
+    seconds: float = 0.0  # wall clock inside dispatches
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+    def snapshot(self) -> "ServeCounters":
+        return replace(self)
+
+    @property
+    def flagged_fraction(self) -> float:
+        """Fraction of served rows that activated the corrector."""
+        return self.flagged / self.examples if self.examples else 0.0
+
+
+class LatencyStats:
+    """Bounded window of per-request latencies with percentile summaries.
+
+    The window is a ring buffer (``maxlen`` most recent requests), so a
+    long-running service reports *current* tail behaviour rather than an
+    all-time average that buries regressions.
+    """
+
+    def __init__(self, maxlen: int = 65536):
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self._window: deque[float] = deque(maxlen=maxlen)
+        self.count = 0  # lifetime recordings, window evictions included
+
+    def record(self, seconds: float) -> None:
+        self._window.append(float(seconds))
+        self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` (0-100) in seconds; NaN when empty."""
+        if not self._window:
+            return float("nan")
+        return float(np.percentile(np.fromiter(self._window, dtype=np.float64), q))
+
+    def summary(self) -> dict[str, float]:
+        """Milisecond percentiles in benchcmp-gateable naming (``*_ms``)."""
+        if not self._window:
+            return {"count": float(self.count), "p50_ms": float("nan"),
+                    "p95_ms": float("nan"), "mean_ms": float("nan")}
+        window = np.fromiter(self._window, dtype=np.float64)
+        return {
+            "count": float(self.count),
+            "p50_ms": float(np.percentile(window, 50) * 1e3),
+            "p95_ms": float(np.percentile(window, 95) * 1e3),
+            "mean_ms": float(window.mean() * 1e3),
+        }

@@ -99,3 +99,36 @@ class TestDCN:
         assert (network.predict(adv) == true).mean() < 0.2
         # ...while DCN recovers the majority.
         assert (dcn.classify(adv) == true).mean() > 0.5
+
+
+class TestClassifyDtype:
+    """classify_detailed must not round-trip engine-dtype input via float64."""
+
+    def test_float32_batch_reaches_engine_uncopied(self, tiny_correct, monkeypatch):
+        network, x, _ = tiny_correct
+        dcn = DCN(network, _StubDetector(flag_all=False), Corrector(network, 0.1, seed=0))
+        seen = {}
+        original = network.engine.logits
+
+        def spy(batch, *args, **kwargs):
+            seen["batch"] = batch
+            return original(batch, *args, **kwargs)
+
+        monkeypatch.setattr(network.engine, "logits", spy)
+        x32 = np.ascontiguousarray(x[:8], dtype=np.float32)
+        dcn.classify_detailed(x32)
+        # np.asarray on an ndarray is the identity: no float64 (or any
+        # other) intermediate copy on the serving hot path.
+        assert seen["batch"] is x32
+
+    def test_float32_labels_match_float64(self, tiny_correct):
+        network, x, _ = tiny_correct
+        # Flag everything so the corrector's dtype canonicalisation is
+        # exercised too, not just the engine forward.
+        dcn = DCN(network, _StubDetector(flag_all=True), Corrector(network, 0.1, seed=0))
+        rows64 = np.asarray(x[:10], dtype=np.float64)
+        rows32 = rows64.astype(np.float32)
+        labels32, flagged32 = dcn.classify_detailed(rows32)
+        labels64, flagged64 = dcn.classify_detailed(rows32.astype(np.float64))
+        np.testing.assert_array_equal(labels32, labels64)
+        np.testing.assert_array_equal(flagged32, flagged64)

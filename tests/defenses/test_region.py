@@ -115,3 +115,66 @@ class TestRegionClassifierDeterminism:
         a2 = second.correct(x[:4])
         np.testing.assert_array_equal(a1, a2)
         np.testing.assert_array_equal(b1, b2)
+
+
+class TestFusedVote:
+    """region_vote_fused: the corrector kernel behind cross-request fusion."""
+
+    def _args(self):
+        return dict(radius=0.05, samples=20, seed=1)
+
+    def test_fused_equals_per_row(self, tiny_correct):
+        from repro.defenses.region import region_vote_fused
+
+        network, x, _ = tiny_correct
+        fused = region_vote_fused(network, x[:10], **self._args())
+        per_row = np.concatenate(
+            [region_vote_fused(network, x[i : i + 1], **self._args()) for i in range(10)]
+        )
+        # Per-input noise streams: fusing rows from many requests into one
+        # batch votes bitwise-identically to voting each row alone.
+        np.testing.assert_array_equal(fused, per_row)
+
+    def test_chunk_padding_leaves_labels_unchanged(self, tiny_correct):
+        from repro.defenses.region import region_vote_fused
+
+        network, x, _ = tiny_correct
+        plain = region_vote_fused(network, x[:7], **self._args())
+        padded = region_vote_fused(network, x[:7], pad_chunks=True, **self._args())
+        np.testing.assert_array_equal(plain, padded)
+
+    def test_kernel_batch_is_a_pure_performance_knob(self, tiny_correct):
+        from repro.defenses.region import region_vote_fused
+
+        network, x, _ = tiny_correct
+        a = region_vote_fused(network, x[:6], kernel_batch=64, **self._args())
+        b = region_vote_fused(network, x[:6], kernel_batch=7, **self._args())
+        np.testing.assert_array_equal(a, b)
+
+    def test_float32_rows_vote_like_float64(self, tiny_correct):
+        from repro.defenses.region import region_vote_fused
+
+        network, x, _ = tiny_correct
+        rows32 = np.asarray(x[:6], dtype=np.float32)
+        # float32 -> float64 widening is exact, so a float32 batch hashes
+        # to the same per-input noise streams as its widened copy (the
+        # engine-dtype fast path in DCN.classify_detailed depends on it).
+        np.testing.assert_array_equal(
+            region_vote_fused(network, rows32, **self._args()),
+            region_vote_fused(network, rows32.astype(np.float64), **self._args()),
+        )
+
+    def test_empty_batch(self, tiny_correct):
+        from repro.defenses.region import region_vote_fused
+
+        network, x, _ = tiny_correct
+        assert region_vote_fused(network, x[:0], **self._args()).shape == (0,)
+
+    def test_corrector_fused_matches_correct(self, tiny_correct):
+        from repro.core.corrector import Corrector
+
+        network, x, _ = tiny_correct
+        corrector = Corrector(network, radius=0.05, samples=20, seed=2)
+        np.testing.assert_array_equal(
+            corrector.correct_fused(x[:8]), corrector.correct(x[:8])
+        )

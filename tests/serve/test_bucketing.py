@@ -1,0 +1,59 @@
+"""Unit tests for the power-of-two shape-bucket ladder."""
+
+import numpy as np
+import pytest
+
+from repro.serve import bucket_for, bucket_sizes, pad_to_bucket
+
+
+class TestBucketSizes:
+    def test_power_of_two_ladder(self):
+        assert bucket_sizes(64) == (1, 2, 4, 8, 16, 32, 64)
+
+    def test_non_power_of_two_cap_is_included(self):
+        # max_batch is always the top bucket so a full dispatch never pads.
+        assert bucket_sizes(48) == (1, 2, 4, 8, 16, 32, 48)
+
+    def test_degenerate_single_bucket(self):
+        assert bucket_sizes(1) == (1,)
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ValueError):
+            bucket_sizes(0)
+
+
+class TestBucketFor:
+    def test_smallest_fitting_bucket(self):
+        buckets = bucket_sizes(64)
+        assert bucket_for(3, buckets) == 4
+        assert bucket_for(17, buckets) == 32
+
+    def test_exact_fit_needs_no_padding(self):
+        buckets = bucket_sizes(64)
+        for size in buckets:
+            assert bucket_for(size, buckets) == size
+
+    def test_overflow_and_underflow_raise(self):
+        buckets = bucket_sizes(8)
+        with pytest.raises(ValueError):
+            bucket_for(9, buckets)
+        with pytest.raises(ValueError):
+            bucket_for(0, buckets)
+
+
+class TestPadToBucket:
+    def test_exact_size_returns_same_object(self):
+        x = np.ones((4, 1, 6, 6), dtype=np.float32)
+        assert pad_to_bucket(x, 4) is x
+
+    def test_pads_with_zero_rows(self):
+        x = np.full((3, 1, 2, 2), 7.0)
+        padded = pad_to_bucket(x, 8)
+        assert padded.shape == (8, 1, 2, 2)
+        assert padded.dtype == x.dtype
+        np.testing.assert_array_equal(padded[:3], x)
+        assert not padded[3:].any()
+
+    def test_overfull_batch_raises(self):
+        with pytest.raises(ValueError):
+            pad_to_bucket(np.ones((5, 1)), 4)

@@ -1,0 +1,134 @@
+"""The deterministic load generator and its offline/coalesced drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCN, Corrector
+from repro.serve import (
+    DCNService,
+    StreamSpec,
+    build_stream,
+    run_coalesced,
+    run_offline,
+    summarize_latencies,
+)
+
+from .test_service import _RuleDetector, _flag_even
+
+
+@pytest.fixture()
+def pools(tiny_correct):
+    network, x, _ = tiny_correct
+    benign = x[:24]
+    adv = x[24:32] + 0.01  # stand-in payloads; content is irrelevant here
+    return benign, adv
+
+
+class TestStreamSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamSpec(requests=0)
+        with pytest.raises(ValueError):
+            StreamSpec(adv_fraction=1.5)
+        with pytest.raises(ValueError):
+            StreamSpec(min_size=0)
+        with pytest.raises(ValueError):
+            StreamSpec(min_size=3, max_size=2)
+
+
+class TestBuildStream:
+    def test_deterministic_in_seed(self, pools):
+        benign, adv = pools
+        spec = StreamSpec(requests=20, adv_fraction=0.3, max_size=3, seed=5)
+        a = build_stream(benign, adv, spec)
+        b = build_stream(benign, adv, spec)
+        assert len(a) == len(b) == 20
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.x, rb.x)
+            np.testing.assert_array_equal(ra.adv_rows, rb.adv_rows)
+        c = build_stream(benign, adv, StreamSpec(requests=20, adv_fraction=0.3, max_size=3, seed=6))
+        assert any(not np.array_equal(ra.x, rc.x) for ra, rc in zip(a, c))
+
+    def test_sizes_within_spec(self, pools):
+        benign, adv = pools
+        stream = build_stream(benign, adv, StreamSpec(requests=30, min_size=2, max_size=5, seed=1))
+        assert all(2 <= len(r.x) <= 5 for r in stream)
+        assert {len(r.x) for r in stream} > {2}  # sizes actually vary
+
+    def test_benign_drawn_without_replacement_until_wrap(self, pools):
+        benign, _ = pools
+        spec = StreamSpec(requests=2 * len(benign), adv_fraction=0.0, max_size=1, seed=2)
+        rows = np.concatenate([r.x for r in build_stream(benign, None, spec)])
+        # Each pool row appears exactly once per pool pass: the first
+        # len(pool) draws are a permutation, then the pool reshuffles.
+        pool_keys = {row.tobytes() for row in benign}
+        for half in (rows[: len(benign)], rows[len(benign) :]):
+            keys = [row.tobytes() for row in half]
+            assert len(set(keys)) == len(benign)
+            assert set(keys) == pool_keys
+
+    def test_adv_rows_come_from_adv_pool(self, pools):
+        benign, adv = pools
+        stream = build_stream(benign, adv, StreamSpec(requests=10, adv_fraction=1.0, max_size=2, seed=0))
+        adv_keys = {row.tobytes() for row in adv}
+        for request in stream:
+            assert request.adv_rows.all()
+            assert all(row.tobytes() in adv_keys for row in request.x)
+
+    def test_zero_fraction_needs_no_adv_pool(self, pools):
+        benign, _ = pools
+        stream = build_stream(benign, None, StreamSpec(requests=5, adv_fraction=0.0))
+        assert not any(r.adv_rows.any() for r in stream)
+
+    def test_pool_errors(self, pools):
+        benign, adv = pools
+        with pytest.raises(ValueError):
+            build_stream(benign[:0], adv, StreamSpec(requests=5))
+        with pytest.raises(ValueError):
+            build_stream(benign, None, StreamSpec(requests=5, adv_fraction=0.5))
+        with pytest.raises(ValueError):
+            build_stream(benign, adv[:0], StreamSpec(requests=5, adv_fraction=0.5))
+
+
+class TestRunners:
+    def test_offline_and_coalesced_agree_bitwise(self, tiny_correct, pools):
+        network, _, _ = tiny_correct
+        benign, adv = pools
+        dcn = DCN(
+            network,
+            _RuleDetector(network, _flag_even),
+            Corrector(network, radius=0.1, samples=20, seed=0),
+        )
+        stream = build_stream(benign, adv, StreamSpec(requests=12, adv_fraction=0.25, max_size=3, seed=4))
+        off = run_offline(dcn, stream)
+        co = run_coalesced(DCNService(dcn, max_batch=16, max_queue=64), stream, window=6)
+        assert off.statuses == co.statuses == ["ok"] * 12
+        for a, b in zip(off.labels, co.labels):
+            np.testing.assert_array_equal(a, b)
+        assert off.seconds > 0 and co.seconds > 0
+        assert len(co.latencies_s) == 12
+        assert off.requests_per_sec > 0 and co.examples_per_sec > 0
+
+    def test_coalesced_window_validation(self, tiny_correct):
+        network, _, _ = tiny_correct
+        dcn = DCN(
+            network,
+            _RuleDetector(network, _flag_even),
+            Corrector(network, radius=0.1, samples=20, seed=0),
+        )
+        with pytest.raises(ValueError):
+            run_coalesced(DCNService(dcn), [], window=0)
+
+
+class TestSummarizeLatencies:
+    def test_percentiles_in_milliseconds(self):
+        summary = summarize_latencies([0.001, 0.003])
+        assert summary["count"] == 2.0
+        assert summary["p50_ms"] == pytest.approx(2.0)
+        assert summary["mean_ms"] == pytest.approx(2.0)
+        assert summary["p95_ms"] <= 3.0
+
+    def test_empty_is_nan_not_crash(self):
+        summary = summarize_latencies([])
+        assert summary["count"] == 0.0
+        assert np.isnan(summary["p50_ms"])

@@ -1,0 +1,216 @@
+"""DCNService: coalescing equivalence, admission control, telemetry.
+
+These run on the in-session tiny model with deterministic detector
+stand-ins so the full serving envelope — including the detector
+false-negative path — is exercised without the cached artifact zoo.
+The mnist-fast integration equivalents live in ``scripts/serve_smoke.py``
+and ``benchmarks/bench_serve_latency.py``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DCN, Corrector
+from repro.serve import DCNService
+
+
+class _RuleDetector:
+    """Deterministic detector stand-in: flags rows by a pure logits rule."""
+
+    def __init__(self, network, rule):
+        self.network = network
+        self._rule = rule
+
+    def is_adversarial(self, logits):
+        return self._rule(np.asarray(logits))
+
+
+def _flag_even(logits):
+    return logits.argmax(axis=-1) % 2 == 0
+
+
+@pytest.fixture()
+def tiny_dcn(tiny_correct):
+    """DCN whose detector flags every even-labelled row (pinned seed)."""
+    network, _, _ = tiny_correct
+    detector = _RuleDetector(network, _flag_even)
+    return DCN(network, detector, Corrector(network, radius=0.1, samples=20, seed=0))
+
+
+def _requests(x, sizes):
+    out, start = [], 0
+    for size in sizes:
+        out.append(x[start : start + size])
+        start += size
+    return out
+
+
+class TestServeBatchEquivalence:
+    def test_bitwise_identical_to_offline_classify(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        window = _requests(x, [1, 3, 2, 4, 1, 5])
+        service = DCNService(tiny_dcn, max_batch=8, max_queue=64)
+        results = service.serve_batch(window)
+        assert [r.status for r in results] == ["ok"] * len(window)
+        for result, request in zip(results, window):
+            labels, flagged = tiny_dcn.classify_detailed(request)
+            np.testing.assert_array_equal(result.labels, labels)
+            np.testing.assert_array_equal(result.flagged, flagged)
+        # The detector rule flags ~half the rows, so the fused corrector
+        # path genuinely ran — this is not a gate-only equivalence.
+        assert 0 < service.counters.flagged < service.counters.examples
+        assert service.counters.corrected == service.counters.flagged
+
+    def test_coalesces_across_requests_and_pads_to_buckets(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        window = _requests(x, [1] * 6)
+        service = DCNService(tiny_dcn, max_batch=8, max_queue=64)
+        service.serve_batch(window)
+        # 6 single-row requests fuse into one dispatch, padded 6 -> 8.
+        assert service.counters.batches == 1
+        assert service.counters.coalesced_requests == 6
+        assert service.counters.pad_rows == 2
+
+    def test_detector_false_negative_rows_keep_model_label(self, tiny_correct):
+        """Benign rows deliberately flagged are served the model's label.
+
+        The paper's Sec. 5.2 harmlessness argument, on the serving path:
+        a detector false positive routes a benign row into the corrector,
+        whose vote agrees with the model on benign inputs.
+        """
+        network, x, _ = tiny_correct
+        dcn = DCN(
+            network,
+            _RuleDetector(network, lambda logits: np.ones(len(logits), dtype=bool)),
+            Corrector(network, radius=0.05, samples=20, seed=0),
+        )
+        rows = x[:12]
+        service = DCNService(dcn, max_batch=8, max_queue=64)
+        results = service.serve_batch(_requests(rows, [4, 4, 4]))
+        served = np.concatenate([r.labels for r in results])
+        # Bitwise-equal to offline DCN (same pinned corrector seed) ...
+        np.testing.assert_array_equal(served, dcn.classify(rows))
+        # ... and the corrector vote recovers the model's own labels.
+        assert (served == network.predict(rows)).mean() > 0.8
+        assert service.counters.corrected == len(rows)
+
+
+class TestAdmissionControl:
+    def test_shed_policy_rejects_overflow_only(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        window = _requests(x, [1] * 10)
+        service = DCNService(tiny_dcn, max_batch=8, max_queue=3, overload="shed")
+        results = service.serve_batch(window)
+        assert [r.status for r in results] == ["ok"] * 3 + ["shed"] * 7
+        assert service.counters.shed == 7
+        for result, request in zip(results[:3], window[:3]):
+            np.testing.assert_array_equal(result.labels, tiny_dcn.classify(request))
+        shed = results[-1]
+        assert shed.labels is None and not shed.ok
+
+    def test_degrade_policy_bounded_at_twice_max_queue(self, tiny_correct, tiny_dcn):
+        network, x, _ = tiny_correct
+        window = _requests(x, [1] * 10)
+        service = DCNService(tiny_dcn, max_batch=8, max_queue=2, overload="degrade")
+        results = service.serve_batch(window)
+        # Depths [0, 2) full service, [2, 4) detector-only, >= 4 shed.
+        assert [r.status for r in results] == ["ok"] * 2 + ["degraded"] * 2 + ["shed"] * 6
+        for result, request in zip(results[2:4], window[2:4]):
+            # Degraded rows carry the model's label even when flagged.
+            np.testing.assert_array_equal(result.labels, network.predict(request))
+            assert result.ok
+        assert service.counters.degraded == 2 and service.counters.shed == 6
+
+    def test_request_validation(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        service = DCNService(tiny_dcn, max_batch=4)
+        with pytest.raises(ValueError):
+            service.serve_batch([x[:0]])  # empty request
+        with pytest.raises(ValueError):
+            service.serve_batch([x[0, 0, 0]])  # not a batch of inputs
+        with pytest.raises(ValueError):
+            service.serve_batch([x[:5]])  # exceeds max_batch
+
+    def test_constructor_validation(self, tiny_dcn):
+        for kwargs in (
+            {"max_batch": 0},
+            {"max_queue": 0},
+            {"max_delay": -1.0},
+            {"overload": "panic"},
+            {"plan_entries": 0},
+        ):
+            with pytest.raises(ValueError):
+                DCNService(tiny_dcn, **kwargs)
+
+    def test_plan_budget_floor_never_shrinks(self, tiny_dcn):
+        engine = tiny_dcn.network.engine
+        original = engine.plan_entries
+        try:
+            DCNService(tiny_dcn, plan_entries=64)
+            assert engine.plan_entries >= 64
+            DCNService(tiny_dcn, plan_entries=2)
+            assert engine.plan_entries >= 64  # floor, not a setter
+        finally:
+            engine.plan_entries = original
+
+
+class TestThreadedMode:
+    def test_concurrent_submit_matches_offline(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        window = _requests(x, [1, 2, 1, 3, 1, 2, 1, 1])
+        results = [None] * len(window)
+        with DCNService(tiny_dcn, max_batch=8, max_queue=64, max_delay=0.001) as service:
+            def client(lane):
+                for i in range(lane, len(window), 2):
+                    results[i] = service.classify(window[i], timeout=30.0)
+
+            threads = [threading.Thread(target=client, args=(lane,)) for lane in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert all(r is not None and r.status == "ok" for r in results)
+        for result, request in zip(results, window):
+            np.testing.assert_array_equal(result.labels, tiny_dcn.classify(request))
+        assert result.latency_s >= 0
+
+    def test_lifecycle_errors(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        service = DCNService(tiny_dcn)
+        with pytest.raises(RuntimeError):
+            service.submit(x[:1])  # not started
+        with service:
+            with pytest.raises(RuntimeError):
+                service.start()  # already running
+        with pytest.raises(RuntimeError):
+            service.submit(x[:1])  # stopped again
+
+
+class TestTelemetry:
+    def test_counters_and_latencies(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        window = _requests(x, [2, 3, 1, 2])
+        service = DCNService(tiny_dcn, max_batch=8, max_queue=64)
+        service.serve_batch(window)
+        counters = service.counters
+        assert counters.requests == 4
+        assert counters.examples == 8
+        assert counters.seconds > 0
+        assert 0.0 <= counters.flagged_fraction <= 1.0
+        assert counters.plan_hits + counters.plan_misses > 0
+        as_dict = counters.as_dict()
+        assert as_dict["requests"] == 4 and as_dict["examples"] == 8
+        summary = service.latencies.summary()
+        assert summary["count"] == 4
+        assert summary["p95_ms"] >= summary["p50_ms"] > 0
+
+    def test_snapshot_is_detached(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        service = DCNService(tiny_dcn, max_batch=8, max_queue=64)
+        service.serve_batch([x[:2]])
+        frozen = service.counters.snapshot()
+        service.serve_batch([x[:2]])
+        assert frozen.batches == 1
+        assert service.counters.batches == 2

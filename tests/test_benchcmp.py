@@ -31,6 +31,18 @@ class TestDirectionRules:
             ("workers-4.seconds", "lower"),
             ("cnn.examples", "info"),
             ("f32_max_rel_error", "info"),
+            # Latency-style names (the serving benchmark's leaves).
+            ("gate.serve_p50_ms", "lower"),
+            ("frac_05.serve_p95_ms", "lower"),
+            ("mean_ms", "lower"),
+            ("queue_latency", "lower"),
+            ("latency_p99_us", "lower"),
+            ("tail_p99", "lower"),
+            ("p50", "lower"),
+            # Percentile tokens must be terminal; p-ish names are not latencies.
+            ("top_p5_accuracy", "info"),
+            ("num_p2p_links", "info"),
+            ("warp_speed", "info"),
         ],
     )
     def test_metric_direction(self, name, expected):

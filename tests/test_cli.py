@@ -45,6 +45,28 @@ class TestParser:
         assert args.threshold == 0.10
         assert not args.warn_only
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.requests == 256
+        assert args.adv_fraction == 0.05
+        assert args.max_batch == 64
+        assert args.max_queue == 128
+        assert args.overload == "shed"
+        assert args.burst == 32
+
+    def test_serve_rejects_unknown_overload_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--overload", "panic"])
+
+    def test_loadgen_flags(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--requests", "64", "--adv-fraction", "0.1", "--window", "16"]
+        )
+        assert args.requests == 64
+        assert args.adv_fraction == 0.1
+        assert args.window == 16
+        assert args.max_size == 1  # single-row requests by default
+
 
 class TestCommands:
     def test_info_lists_registries(self, capsys):
