@@ -50,6 +50,9 @@ echo "ok"
 echo "== serve smoke (threaded coalescing, backpressure, bitwise equivalence) =="
 python scripts/serve_smoke.py
 
+echo "== serve-pool smoke (2 workers, SLO admission, SIGKILL mid-stream) =="
+python scripts/serve_pool_smoke.py
+
 echo "== serve-latency benchmark (smoke) =="
 python benchmarks/bench_serve_latency.py --smoke > /dev/null
 echo "ok"

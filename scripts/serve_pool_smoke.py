@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Multi-worker serving smoke: sharding, SLO admission, worker death.
+
+Drives the :class:`~repro.serve.ServePool` front end through its
+operational envelope on the cached ``mnist-fast`` artifacts:
+
+1. **sharded equivalence** — requests fan out across forked workers and
+   every served label must be bitwise-identical to offline
+   ``DCN.classify`` on the same rows (the per-input corrector noise
+   streams make the label a pure function of the row, not the worker);
+2. **merged telemetry** — the fleet snapshot must sum counters across
+   workers, produce finite fleet-wide percentiles from the merged
+   sketches, and journal cleanly through ``TelemetryExporter``;
+3. **SLO admission in workers** — a pool built with ``slo_target_s``
+   forwards it to each worker's service; a generous budget must not
+   shed anything on a light stream;
+4. **worker death** — SIGKILL one worker mid-stream: its in-flight
+   tickets must resolve as shed (never hang a caller), the survivors
+   must finish the stream, and the fleet snapshot must name the corpse.
+
+Exit status 0 = all checks passed.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.eval import build_context, scale_config  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServePool,
+    StreamSpec,
+    TelemetryExporter,
+    build_stream,
+    read_telemetry,
+    run_pool,
+)
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def main() -> int:
+    ctx = build_context("mnist-fast", scale_config("fast"))
+    dcn = ctx.dcn
+    adv, _, _ = ctx.pool("cw-l2").successful()
+    stream = build_stream(
+        ctx.dataset.x_test,
+        adv,
+        StreamSpec(requests=32, adv_fraction=0.10, min_size=1, max_size=3, seed=11),
+    )
+    offline = [dcn.classify(request.x) for request in stream]
+    tmp = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("/tmp")
+
+    # 1 + 2 + 3. sharded equivalence with SLO admission and journaled telemetry
+    journal = tmp / "serve_pool_smoke_telemetry.jsonl"
+    journal.unlink(missing_ok=True)
+    with ServePool(
+        dcn, workers=2, ledger_path=tmp / "serve_pool_smoke_ledger.jsonl",
+        max_batch=32, max_queue=256, slo_target_s=30.0,
+    ) as pool:
+        with TelemetryExporter(pool, journal, interval_s=60.0):
+            stats = run_pool(pool, stream, window=8)
+            snapshot = pool.fleet_snapshot()
+    check(stats.statuses == ["ok"] * len(stream), "pool: all requests served")
+    check(
+        all(np.array_equal(got, want) for got, want in zip(stats.labels, offline)),
+        "pool: labels bitwise-identical to offline DCN.classify",
+    )
+    check(
+        snapshot["workers"]["reporting"] == [0, 1],
+        "pool: every worker took traffic and reported",
+    )
+    check(
+        snapshot["counters"]["requests"] == len(stream)
+        and snapshot["counters"]["shed"] == 0
+        and snapshot["counters"]["slo_shed"] == 0,
+        "pool: merged counters cover the stream, generous SLO sheds nothing",
+    )
+    check(
+        np.isfinite(snapshot["latency"]["p95_ms"])
+        and snapshot["latency"]["count"] == float(len(stream)),
+        "pool: fleet percentiles finite over merged sketches",
+    )
+    records = read_telemetry(journal)
+    check(
+        records and records[-1]["final"] and records[-1]["workers"]["total"] == 2,
+        "pool: telemetry journal replayable, final fleet record present",
+    )
+
+    # 4. SIGKILL one worker mid-stream: shed in-flight, survivors finish
+    def stall_worker_zero(worker_id, n_requests):
+        if worker_id == 0:
+            time.sleep(30.0)
+
+    with ServePool(
+        dcn, workers=2, ledger_path=tmp / "serve_pool_smoke_chaos.jsonl",
+        max_batch=32, max_queue=256, dispatch_hook=stall_worker_zero,
+    ) as pool:
+        # Even sequence numbers shard to worker 0 (stalled), odd to 1.
+        tickets = [pool.submit(stream[i].x) for i in range(8)]
+        healthy = [tickets[i].wait(30.0) for i in (1, 3, 5, 7)]
+        check(
+            all(r.status == "ok" for r in healthy),
+            "chaos: healthy worker keeps serving while its peer stalls",
+        )
+        pool.processes[0].kill()
+        doomed = [tickets[i].wait(10.0) for i in (0, 2, 4, 6)]
+        check(
+            all(r.status == "shed" for r in doomed),
+            "chaos: SIGKILLed worker's in-flight tickets resolve as shed",
+        )
+        check(pool.live_workers() == [1], "chaos: monitor saw exactly one death")
+        after = [pool.submit(stream[i].x) for i in range(8, 16)]
+        results = [t.wait(30.0) for t in after]
+        check(
+            all(r.status == "ok" for r in results),
+            "chaos: survivor finishes the stream",
+        )
+        check(
+            all(
+                np.array_equal(r.labels, offline[i])
+                for i, r in zip(range(8, 16), results)
+            ),
+            "chaos: survivor's labels still bitwise-identical to offline",
+        )
+        snapshot = pool.fleet_snapshot()
+        check(
+            snapshot["workers"]["dead"] == [0]
+            and snapshot["counters"]["shed"] >= 4,
+            "chaos: fleet snapshot names the corpse and counts its sheds",
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,9 +16,13 @@ Commands
 * ``bench`` — diff two persisted ``BENCH_*.json`` results and classify
   per-case regressions/improvements against a relative threshold.
 * ``verify`` — differential verification of the fused engines vs autograd.
-* ``serve`` — start the threaded online service and push a synthetic
-  request stream through it (micro-batching, detector gating, fused
-  correction), printing latency percentiles and serve counters.
+* ``serve`` — start the online service and push a synthetic request
+  stream through it (micro-batching, detector gating, fused correction),
+  printing latency percentiles and serve counters.  ``--slo-target-ms``
+  switches admission from queue depth to estimated wait,
+  ``--workers N`` shards requests across N forked serving workers with
+  lease-based liveness, and ``--telemetry PATH`` journals streaming
+  counter/percentile snapshots as JSONL.
 * ``loadgen`` — deterministic offline-vs-coalesced comparison at a given
   adversarial fraction, asserting served labels match ``DCN.classify``.
 
@@ -146,6 +150,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--overload", choices=("shed", "degrade"), default="shed")
     serve.add_argument("--burst", type=int, default=32, help="requests submitted per arrival burst")
+    serve.add_argument(
+        "--slo-target-ms",
+        type=float,
+        default=None,
+        help="admit on estimated queued wait vs this budget (default: depth-only admission)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="forked serving workers behind the sharding front end (1: in-process service)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        help="seconds without a heartbeat before a serving worker counts as dead",
+    )
+    serve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="journal periodic counter/percentile snapshots to this JSONL file",
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="offline vs coalesced serving comparison on a deterministic stream"
@@ -434,33 +462,60 @@ def _serve_stream(dataset_name: str | None, requests: int, adv_fraction: float,
 
 def _cmd_serve(dataset_name: str | None, requests: int, adv_fraction: float,
                min_size: int, max_size: int, seed: int, max_batch: int,
-               max_queue: int, max_delay: float, overload: str, burst: int) -> int:
+               max_queue: int, max_delay: float, overload: str, burst: int,
+               slo_target_ms: float | None, workers: int, lease_ttl: float,
+               telemetry: str | None) -> int:
+    import contextlib
     import time
 
-    from .serve import DCNService
+    from .serve import DCNService, ServeCounters, ServePool, TelemetryExporter
 
     dcn, stream = _serve_stream(
         dataset_name, requests, adv_fraction, min_size, max_size, seed
     )
+    slo_target_s = slo_target_ms / 1e3 if slo_target_ms is not None else None
+    if workers > 1:
+        front = ServePool(
+            dcn, workers=workers, lease_ttl=lease_ttl, max_batch=max_batch,
+            max_queue=max_queue, max_delay=max_delay, overload=overload,
+            slo_target_s=slo_target_s,
+        )
+    else:
+        front = DCNService(
+            dcn, max_batch=max_batch, max_queue=max_queue,
+            max_delay=max_delay, overload=overload, slo_target_s=slo_target_s,
+        )
     statuses: dict[str, int] = {}
     start = time.perf_counter()
-    with DCNService(
-        dcn, max_batch=max_batch, max_queue=max_queue,
-        max_delay=max_delay, overload=overload,
-    ) as service:
-        for begin in range(0, len(stream), max(1, burst)):
-            tickets = [service.submit(req.x) for req in stream[begin : begin + max(1, burst)]]
-            for ticket in tickets:
-                result = ticket.wait(60.0)
-                statuses[result.status] = statuses.get(result.status, 0) + 1
+    with front:
+        exporter = (
+            TelemetryExporter(front, telemetry) if telemetry is not None
+            else contextlib.nullcontext()
+        )
+        with exporter:
+            for begin in range(0, len(stream), max(1, burst)):
+                tickets = [front.submit(req.x) for req in stream[begin : begin + max(1, burst)]]
+                for ticket in tickets:
+                    result = ticket.wait(60.0)
+                    statuses[result.status] = statuses.get(result.status, 0) + 1
+        if workers > 1:
+            snapshot = front.fleet_snapshot()
+            counters = ServeCounters.merged([snapshot["counters"]])
+            latencies = snapshot["latency"]
+        else:
+            counters = front.counters
+            latencies = front.latencies.summary()
     seconds = time.perf_counter() - start
 
-    latencies = service.latencies.summary()
-    print(f"served {requests} requests in {seconds:.3f}s "
-          f"({requests / seconds:.0f} req/s, {service.counters.examples / seconds:.0f} examples/s)")
+    served = sum(n for status, n in statuses.items() if status != "shed")
+    print(f"served {served}/{requests} requests in {seconds:.3f}s "
+          f"({served / seconds:.0f} req/s, {counters.examples / seconds:.0f} examples/s)"
+          + (f" [{workers} workers]" if workers > 1 else ""))
     print("statuses: " + ", ".join(f"{k}={v}" for k, v in sorted(statuses.items())))
     print(f"latency: p50 {latencies['p50_ms']:.2f} ms, p95 {latencies['p95_ms']:.2f} ms")
-    for key, value in service.counters.as_dict().items():
+    if telemetry is not None:
+        print(f"telemetry journal: {telemetry}")
+    for key, value in counters.as_dict().items():
         print(f"  {key:>18}: {value}")
     return 0
 
@@ -526,7 +581,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(
             args.dataset, args.requests, args.adv_fraction, args.min_size,
             args.max_size, args.seed, args.max_batch, args.max_queue,
-            args.max_delay, args.overload, args.burst,
+            args.max_delay, args.overload, args.burst, args.slo_target_ms,
+            args.workers, args.lease_ttl, args.telemetry,
         )
     if args.command == "loadgen":
         return _cmd_loadgen(

@@ -17,18 +17,34 @@ from .loadgen import (
     build_stream,
     run_coalesced,
     run_offline,
+    run_pool,
     summarize_latencies,
 )
 from .service import OVERLOAD_POLICIES, DCNService, ServeResult, ServeTicket
-from .telemetry import LatencyStats, ServeCounters
+from .slo import AdmissionDecision, DispatchCostModel, SloAdmission
+from .telemetry import (
+    LatencySketch,
+    LatencyStats,
+    ServeCounters,
+    TelemetryExporter,
+    read_telemetry,
+)
+from .workers import ServePool
 
 __all__ = [
     "DCNService",
     "ServeResult",
     "ServeTicket",
+    "ServePool",
     "OVERLOAD_POLICIES",
     "ServeCounters",
     "LatencyStats",
+    "LatencySketch",
+    "TelemetryExporter",
+    "read_telemetry",
+    "DispatchCostModel",
+    "SloAdmission",
+    "AdmissionDecision",
     "bucket_sizes",
     "bucket_for",
     "pad_to_bucket",
@@ -38,5 +54,6 @@ __all__ = [
     "build_stream",
     "run_offline",
     "run_coalesced",
+    "run_pool",
     "summarize_latencies",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "build_stream",
     "run_offline",
     "run_coalesced",
+    "run_pool",
     "summarize_latencies",
 ]
 
@@ -98,7 +99,13 @@ def build_stream(
 
 @dataclass
 class RunStats:
-    """Wall-clock outcome of one stream run."""
+    """Wall-clock outcome of one stream run.
+
+    ``labels``/``statuses`` keep one entry per *request* (``labels`` is
+    ``None`` where the request shed); ``latencies_s`` holds served
+    requests only — a shed request has no service latency, and its
+    ``NaN`` placeholder used to poison every percentile downstream.
+    """
 
     labels: list[np.ndarray] = field(default_factory=list)
     statuses: list[str] = field(default_factory=list)
@@ -106,8 +113,20 @@ class RunStats:
     latencies_s: list[float] = field(default_factory=list)
 
     @property
+    def served(self) -> int:
+        """Requests that got labels back (``ok`` or ``degraded``)."""
+        return sum(1 for status in self.statuses if status != "shed")
+
+    @property
+    def shed(self) -> int:
+        """Requests refused by admission control."""
+        return sum(1 for status in self.statuses if status == "shed")
+
+    @property
     def requests_per_sec(self) -> float:
-        return len(self.labels) / self.seconds if self.seconds > 0 else float("inf")
+        # Served requests only: counting sheds would let a service
+        # inflate its throughput by refusing traffic.
+        return self.served / self.seconds if self.seconds > 0 else float("inf")
 
     @property
     def examples_per_sec(self) -> float:
@@ -156,17 +175,56 @@ def run_coalesced(
         for result in results:
             stats.labels.append(result.labels)
             stats.statuses.append(result.status)
-            stats.latencies_s.append(result.latency_s)
+            if result.ok:
+                stats.latencies_s.append(result.latency_s)
+    stats.seconds = clock() - start
+    return stats
+
+
+def run_pool(
+    pool,
+    stream: list[GeneratedRequest],
+    window: int = 16,
+    clock=time.perf_counter,
+    timeout: float | None = 60.0,
+) -> RunStats:
+    """Drive a :class:`~repro.serve.workers.ServePool` in arrival windows.
+
+    ``window`` requests are submitted concurrently, then all their
+    tickets awaited before the next window — the multi-worker analogue of
+    :func:`run_coalesced`.  Sharding is deterministic (sequence modulo
+    worker count), so per-request labels still match the offline
+    baseline's exactly; only the grouping into dispatches differs.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    stats = RunStats()
+    start = clock()
+    for begin in range(0, len(stream), window):
+        arrivals = stream[begin : begin + window]
+        tickets = [pool.submit(request.x) for request in arrivals]
+        for ticket in tickets:
+            result = ticket.wait(timeout)
+            stats.labels.append(result.labels)
+            stats.statuses.append(result.status)
+            if result.ok:
+                stats.latencies_s.append(result.latency_s)
     stats.seconds = clock() - start
     return stats
 
 
 def summarize_latencies(latencies_s: list[float]) -> dict[str, float]:
-    """p50/p95/mean in milliseconds (benchcmp lower-is-better naming)."""
-    if not latencies_s:
+    """p50/p95/mean in milliseconds (benchcmp lower-is-better naming).
+
+    Non-finite entries (e.g. a shed request's ``NaN`` placeholder from an
+    older caller) are dropped rather than allowed to poison every
+    percentile; ``count`` reflects the finite entries actually summarised.
+    """
+    finite = [t for t in latencies_s if np.isfinite(t)]
+    if not finite:
         return {"count": 0.0, "p50_ms": float("nan"), "p95_ms": float("nan"),
                 "mean_ms": float("nan")}
-    arr = np.asarray(latencies_s, dtype=np.float64)
+    arr = np.asarray(finite, dtype=np.float64)
     return {
         "count": float(arr.size),
         "p50_ms": float(np.percentile(arr, 50) * 1e3),

@@ -28,14 +28,24 @@ Cross-request corrector fusion
     stream (:func:`~repro.defenses.region.input_rng`), served labels are
     bitwise-identical to offline ``DCN.classify`` on the same inputs.
 
-Around the hot path sits admission control: the queue depth is bounded at
-``max_queue`` requests.  Past it, the ``overload`` policy either **sheds**
-(rejects the request outright) or **degrades** (admits it detector-only:
-the model's label is served even for flagged rows, skipping the corrector
-fan-out).  Degraded admission is itself bounded at ``2 × max_queue``,
-beyond which requests shed regardless — queue memory stays bounded under
-any load.  Every stage increments :class:`~repro.serve.telemetry.ServeCounters`
-and per-request latencies feed :class:`~repro.serve.telemetry.LatencyStats`.
+Around the hot path sits admission control, in one of two regimes:
+
+* **depth-governed** (default): the queue is bounded at ``max_queue``
+  requests.  Past it, the ``overload`` policy either **sheds** (rejects
+  the request outright) or **degrades** (admits it detector-only: the
+  model's label is served even for flagged rows, skipping the corrector
+  fan-out).  Degraded admission is itself bounded at ``2 × max_queue``,
+  beyond which requests shed regardless.
+* **SLO-governed** (``slo_target_s`` set): admission estimates the
+  request's queued wait from the learned per-row dispatch costs
+  (:mod:`repro.serve.slo` — benign and flagged rows priced separately,
+  since the corrector makes flagged rows ~m× pricier) and sheds/degrades
+  when the estimate exceeds the target, with the same ``2 × max_queue``
+  depth bound kept as a hard backstop.
+
+Either way queue memory stays bounded under any load.  Every stage
+increments :class:`~repro.serve.telemetry.ServeCounters` and per-request
+latencies feed :class:`~repro.serve.telemetry.LatencyStats`.
 """
 
 from __future__ import annotations
@@ -49,14 +59,33 @@ import numpy as np
 
 from ..core.dcn import DCN
 from .bucketing import bucket_for, bucket_sizes, pad_to_bucket
+from .slo import DispatchCostModel, SloAdmission
 from .telemetry import LatencyStats, ServeCounters
 
-__all__ = ["DCNService", "ServeResult", "ServeTicket", "OVERLOAD_POLICIES"]
+__all__ = [
+    "DCNService",
+    "ServeResult",
+    "ServeTicket",
+    "OVERLOAD_POLICIES",
+    "validate_request",
+]
 
 OVERLOAD_POLICIES = ("shed", "degrade")
 
 #: Shed (status only) results carry no labels.
 _SHED_STATUS = "shed"
+
+
+def validate_request(x: np.ndarray, max_batch: int) -> np.ndarray:
+    """Request shape contract, shared by the service and the pool front end."""
+    x = np.asarray(x)
+    if x.ndim < 2 or len(x) == 0:
+        raise ValueError("a request is a non-empty batch of inputs, shape (n, ...)")
+    if len(x) > max_batch:
+        raise ValueError(
+            f"request of {len(x)} rows exceeds max_batch={max_batch}; split it"
+        )
+    return x
 
 
 @dataclass(frozen=True)
@@ -136,6 +165,13 @@ class DCNService:
         requests before dispatching a partial batch.
     overload:
         ``"shed"`` (reject) or ``"degrade"`` (admit detector-only).
+    slo_target_s:
+        Switch admission from depth-governed to SLO-governed: shed (or
+        degrade) when the request's *estimated queued wait* — rows ahead
+        of it times the learned per-row dispatch cost, benign and flagged
+        rows priced separately — exceeds this many seconds.  The
+        ``2 × max_queue`` depth bound stays as a hard backstop.  ``None``
+        (default) keeps the original depth policy.
     plan_entries:
         Floor for the model/detector engines' compiled-plan LRU capacity.
         Serving presents a known working set of shapes — the bucket
@@ -156,6 +192,7 @@ class DCNService:
         max_queue: int = 128,
         max_delay: float = 0.002,
         overload: str = "shed",
+        slo_target_s: float | None = None,
         plan_entries: int = 32,
         pad_corrector: bool = False,
         clock=time.perf_counter,
@@ -181,8 +218,22 @@ class DCNService:
             engine.plan_entries = max(engine.plan_entries, plan_entries)
         self.counters = ServeCounters()
         self.latencies = LatencyStats()
+        # A flagged row pays its share of the batch forward plus the
+        # corrector's m extra forwards — the prior the cost model splits
+        # mixed dispatches with until both costs are observed directly.
+        self.cost_model = DispatchCostModel(
+            flagged_multiplier=1.0 + dcn.corrector.samples
+        )
+        self.slo_target_s = slo_target_s
+        self.slo = (
+            SloAdmission(slo_target_s, self.cost_model, max_queue, overload)
+            if slo_target_s is not None
+            else None
+        )
+        self.idle_wakeups = 0  # dispatcher wakeups with nothing to do
         self._clock = clock
         self._queue: deque[_Request] = deque()
+        self._queued_rows = 0
         self._cond = threading.Condition()
         self._running = False
         self._thread: threading.Thread | None = None
@@ -229,7 +280,9 @@ class DCNService:
             if request is None:
                 return ServeTicket(ServeResult(status=_SHED_STATUS))
             self._queue.append(request)
+            self._queued_rows += len(request.x)
             self.counters.queue_depth = len(self._queue)
+            self.counters.queued_rows = self._queued_rows
             self.counters.max_queue_depth = max(
                 self.counters.max_queue_depth, len(self._queue)
             )
@@ -251,16 +304,23 @@ class DCNService:
         now = self._clock()
         slots: list[ServeResult | None] = [None] * len(arrays)
         admitted: list[tuple[int, _Request]] = []
+        admitted_rows = 0
         with self._cond:
             for i, x in enumerate(arrays):
-                request = self._admit(self._validate(x), now=now, depth=len(admitted))
+                request = self._admit(
+                    self._validate(x), now=now,
+                    depth=len(admitted), rows_ahead=admitted_rows,
+                )
                 if request is None:
                     slots[i] = ServeResult(status=_SHED_STATUS)
                 else:
                     admitted.append((i, request))
+                    admitted_rows += len(request.x)
             self.counters.max_queue_depth = max(
                 self.counters.max_queue_depth, len(admitted)
             )
+            self.counters.queue_depth = len(admitted)
+            self.counters.queued_rows = admitted_rows
         pending = deque(admitted)
         while pending:
             batch: list[tuple[int, _Request]] = []
@@ -269,31 +329,63 @@ class DCNService:
                 index, request = pending.popleft()
                 batch.append((index, request))
                 rows += len(request.x)
+            with self._cond:
+                self.counters.queue_depth = len(pending)
+                self.counters.queued_rows = sum(len(r.x) for _, r in pending)
             self._dispatch([request for _, request in batch])
             for index, request in batch:
                 slots[index] = request.ticket.wait(0)
         assert all(result is not None for result in slots)
         return slots  # type: ignore[return-value]
 
+    # -- telemetry -------------------------------------------------------------
+
+    def telemetry_snapshot(self) -> dict:
+        """One JSON-able telemetry frame: counters, latency summary, the
+        mergeable sketch state and the learned dispatch costs.  This is
+        what :class:`~repro.serve.telemetry.TelemetryExporter` journals
+        and what pool workers ship to the front end."""
+        with self._cond:
+            return {
+                "counters": self.counters.as_dict(),
+                "latency": self.latencies.summary(),
+                "sketch": self.latencies.sketch.state(),
+                "cost": self.cost_model.state(),
+            }
+
     # -- internals -------------------------------------------------------------
 
     def _validate(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x)
-        if x.ndim < 2 or len(x) == 0:
-            raise ValueError("a request is a non-empty batch of inputs, shape (n, ...)")
-        if len(x) > self.max_batch:
-            raise ValueError(
-                f"request of {len(x)} rows exceeds max_batch={self.max_batch}; split it"
-            )
-        return x
+        return validate_request(x, self.max_batch)
 
     def _admit(
-        self, x: np.ndarray, now: float | None = None, depth: int | None = None
+        self,
+        x: np.ndarray,
+        now: float | None = None,
+        depth: int | None = None,
+        rows_ahead: int | None = None,
     ) -> _Request | None:
-        """Admission control (caller holds the lock): request, or None = shed."""
+        """Admission control (caller holds the lock): request, or None = shed.
+
+        Depth-governed by default; SLO-governed when ``slo_target_s`` is
+        set — the decision then keys on the estimated queued wait of the
+        ``rows_ahead`` rows already admitted, not on the raw depth.
+        """
         depth = len(self._queue) if depth is None else depth
         degraded = False
-        if depth >= self.max_queue:
+        if self.slo is not None:
+            rows_ahead = self._queued_rows if rows_ahead is None else rows_ahead
+            decision = self.slo.decide(depth, rows_ahead)
+            if decision.action == "shed":
+                self.counters.shed += 1
+                if decision.reason == "slo":
+                    self.counters.slo_shed += 1
+                return None
+            if decision.action == "degrade":
+                degraded = True
+                self.counters.degraded += 1
+                self.counters.slo_degraded += 1
+        elif depth >= self.max_queue:
             if self.overload == "shed" or depth >= 2 * self.max_queue:
                 self.counters.shed += 1
                 return None
@@ -307,10 +399,18 @@ class DCNService:
         """Dispatcher thread: coalesce whatever is queued, dispatch, repeat."""
         while True:
             with self._cond:
+                # Idle: block until submit()/stop() notifies — no timeout,
+                # so an idle service burns zero CPU between requests.  A
+                # wakeup that finds neither work nor shutdown is spurious
+                # and counted (the regression test pins it at zero).
                 while not self._queue and self._running:
-                    self._cond.wait(0.05)
+                    self._cond.wait()
+                    if not self._queue and self._running:
+                        self.idle_wakeups += 1
                 if not self._queue:
                     if not self._running:
+                        self.counters.queue_depth = 0
+                        self.counters.queued_rows = 0
                         return
                     continue
                 # Hold a partial batch open until the oldest request has
@@ -318,7 +418,7 @@ class DCNService:
                 deadline = self._queue[0].enqueued_at + self.max_delay
                 while (
                     self._running
-                    and sum(len(r.x) for r in self._queue) < self.max_batch
+                    and self._queued_rows < self.max_batch
                     and (remaining := deadline - self._clock()) > 0
                 ):
                     self._cond.wait(remaining)
@@ -328,7 +428,9 @@ class DCNService:
                     request = self._queue.popleft()
                     batch.append(request)
                     rows += len(request.x)
+                self._queued_rows -= rows
                 self.counters.queue_depth = len(self._queue)
+                self.counters.queued_rows = self._queued_rows
             if batch:
                 self._dispatch(batch)
 
@@ -389,6 +491,10 @@ class DCNService:
             self.counters.flagged += int(flagged.sum())
             self.counters.corrected += corrected
             self.counters.seconds += end - start
+            # Feed the SLO cost model: rows that paid the corrector vote
+            # are "flagged-priced", everything else (including flagged
+            # rows served degraded) is benign-priced.
+            self.cost_model.observe(end - start, n - corrected, corrected)
             for (hits0, misses0), e in zip(plans_before, engines):
                 self.counters.plan_hits += e.counters.plan_hits - hits0
                 self.counters.plan_misses += e.counters.plan_misses - misses0

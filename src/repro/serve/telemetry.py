@@ -1,24 +1,46 @@
-"""Serving telemetry: structured work counters and latency percentiles.
+"""Serving telemetry: counters, latency percentiles, sketches, streaming export.
 
 :class:`ServeCounters` follows the engines' counter pattern (PR 1's
 ``EngineCounters``): a flat dataclass of cumulative counts with
 ``as_dict``/``snapshot``, diffable with
-:func:`repro.nn.engine.counter_delta`.  It is the structured export the
-operator reads — queue pressure, dispatch shapes, detector gate split,
-plan-cache behaviour and backpressure activity in one snapshot.
+:func:`repro.nn.engine.counter_delta`, and — new for multi-worker serving
+— mergeable across workers with :meth:`ServeCounters.merged`.
 
-:class:`LatencyStats` keeps a bounded window of per-request latencies and
-reports the percentiles the SLO story is written in (p50/p95).
+:class:`LatencyStats` keeps a bounded window of per-request latencies for
+the percentiles the SLO story is written in (p50/p95), and feeds every
+recording into an embedded :class:`LatencySketch` — a mergeable
+log-bucketed quantile sketch (DDSketch-style, bounded relative error) so
+a multi-worker front end can report fleet-wide percentiles by summing
+bucket counts instead of shipping raw latency windows.
+
+:class:`TelemetryExporter` journals periodic snapshots (counters +
+latency summary + sketch state) as append-only JSONL through the
+crash-safe :class:`~repro.runner.ledger.Ledger`, so a long-running
+service leaves a replayable record of its tail behaviour over time;
+:func:`read_telemetry` replays it.
 """
 
 from __future__ import annotations
 
+import math
+import threading
+import time
 from collections import deque
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["ServeCounters", "LatencyStats"]
+__all__ = [
+    "ServeCounters",
+    "LatencyStats",
+    "LatencySketch",
+    "TelemetryExporter",
+    "read_telemetry",
+]
+
+#: Snapshot records in the telemetry journal carry this event name.
+TELEMETRY_EVENT = "serve-telemetry"
 
 
 @dataclass
@@ -34,7 +56,10 @@ class ServeCounters:
     corrected: int = 0  # flagged rows actually corrected (not degraded)
     shed: int = 0  # requests rejected by admission control
     degraded: int = 0  # requests served detector-only under overload
+    slo_shed: int = 0  # sheds decided by the SLO wait estimate (not the backstop)
+    slo_degraded: int = 0  # degrades decided by the SLO wait estimate
     queue_depth: int = 0  # gauge: requests waiting right now
+    queued_rows: int = 0  # gauge: rows across those waiting requests
     max_queue_depth: int = 0  # high-water mark of the queue
     plan_hits: int = 0  # engine plan-LRU hits attributed to serving
     plan_misses: int = 0  # engine plan compilations attributed to serving
@@ -51,24 +76,167 @@ class ServeCounters:
         """Fraction of served rows that activated the corrector."""
         return self.flagged / self.examples if self.examples else 0.0
 
+    @classmethod
+    def merged(cls, snapshots: "list[dict | ServeCounters]") -> "ServeCounters":
+        """Sum counters across workers (``max_queue_depth`` takes the max).
+
+        Accepts ``as_dict()`` payloads (what workers ship over the wire)
+        or live instances; unknown keys are ignored so snapshots from a
+        newer worker never crash an older front end.
+        """
+        known = {f.name for f in fields(cls)}
+        total = cls()
+        for snap in snapshots:
+            data = snap.as_dict() if isinstance(snap, ServeCounters) else snap
+            for key, value in data.items():
+                if key not in known:
+                    continue
+                if key == "max_queue_depth":
+                    total.max_queue_depth = max(total.max_queue_depth, int(value))
+                elif key == "seconds":
+                    total.seconds += float(value)
+                else:
+                    setattr(total, key, getattr(total, key) + int(value))
+        return total
+
+
+class LatencySketch:
+    """Mergeable quantile sketch with bounded relative error (DDSketch-style).
+
+    Values land in logarithmic buckets ``gamma**k`` with
+    ``gamma = (1 + alpha) / (1 - alpha)``, so any reported quantile is
+    within relative error ``alpha`` of the true value.  Two sketches with
+    the same ``alpha`` merge by summing bucket counts — the whole point:
+    a fleet of workers each ship a small dict of counts and the front end
+    reports exact-rank, bounded-error fleet percentiles without ever
+    seeing a raw latency.
+    """
+
+    #: Latencies below this (seconds) collapse into one underflow bucket.
+    MIN_VALUE = 1e-9
+
+    def __init__(self, alpha: float = 0.01):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.alpha = alpha
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._underflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, seconds: float) -> None:
+        """Fold one latency in; non-finite or negative values are dropped."""
+        value = float(seconds)
+        if not math.isfinite(value) or value < 0.0:
+            return
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if value < self.MIN_VALUE:
+            self._underflow += 1
+        else:
+            key = math.ceil(math.log(value) / self._log_gamma)
+            self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` (0-100); NaN when empty.
+
+        Exact in rank, within ``alpha`` relative error in value; clamped
+        to the observed ``[min, max]``.
+        """
+        if self.count == 0:
+            return float("nan")
+        rank = (q / 100.0) * (self.count - 1)
+        seen = self._underflow
+        if rank < seen:
+            return self.min
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if rank < seen:
+                value = 2.0 * self._gamma**key / (self._gamma + 1.0)
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """Millisecond percentiles in benchcmp-gateable naming (``*_ms``)."""
+        if self.count == 0:
+            return {"count": 0.0, "p50_ms": float("nan"), "p95_ms": float("nan"),
+                    "mean_ms": float("nan")}
+        return {
+            "count": float(self.count),
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "mean_ms": (self.sum / self.count) * 1e3,
+        }
+
+    # -- merging / wire format -------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-able snapshot: bucket counts keyed by stringified index."""
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "underflow": self._underflow,
+            "buckets": {str(key): count for key, count in self._buckets.items()},
+        }
+
+    def merge_state(self, state: dict) -> "LatencySketch":
+        """Fold another sketch's :meth:`state` into this one (same alpha)."""
+        if abs(float(state["alpha"]) - self.alpha) > 1e-12:
+            raise ValueError(
+                f"cannot merge sketches with different alpha "
+                f"({state['alpha']} != {self.alpha})"
+            )
+        count = int(state["count"])
+        if count == 0:
+            return self
+        self.count += count
+        self.sum += float(state["sum"])
+        self.min = min(self.min, float(state["min"]))
+        self.max = max(self.max, float(state["max"]))
+        self._underflow += int(state.get("underflow", 0))
+        for key, bucket_count in state["buckets"].items():
+            key = int(key)
+            self._buckets[key] = self._buckets.get(key, 0) + int(bucket_count)
+        return self
+
+    def merge(self, other: "LatencySketch") -> "LatencySketch":
+        return self.merge_state(other.state())
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencySketch":
+        return cls(alpha=float(state["alpha"])).merge_state(state)
+
 
 class LatencyStats:
     """Bounded window of per-request latencies with percentile summaries.
 
     The window is a ring buffer (``maxlen`` most recent requests), so a
     long-running service reports *current* tail behaviour rather than an
-    all-time average that buries regressions.
+    all-time average that buries regressions.  Every recording also feeds
+    :attr:`sketch`, the mergeable lifetime sketch the multi-worker front
+    end aggregates fleet percentiles from.
     """
 
-    def __init__(self, maxlen: int = 65536):
+    def __init__(self, maxlen: int = 65536, sketch_alpha: float = 0.01):
         if maxlen < 1:
             raise ValueError("maxlen must be >= 1")
         self._window: deque[float] = deque(maxlen=maxlen)
         self.count = 0  # lifetime recordings, window evictions included
+        self.sketch = LatencySketch(alpha=sketch_alpha)
 
     def record(self, seconds: float) -> None:
         self._window.append(float(seconds))
         self.count += 1
+        self.sketch.record(seconds)
 
     def percentile(self, q: float) -> float:
         """Latency at percentile ``q`` (0-100) in seconds; NaN when empty."""
@@ -77,7 +245,7 @@ class LatencyStats:
         return float(np.percentile(np.fromiter(self._window, dtype=np.float64), q))
 
     def summary(self) -> dict[str, float]:
-        """Milisecond percentiles in benchcmp-gateable naming (``*_ms``)."""
+        """Millisecond percentiles in benchcmp-gateable naming (``*_ms``)."""
         if not self._window:
             return {"count": float(self.count), "p50_ms": float("nan"),
                     "p95_ms": float("nan"), "mean_ms": float("nan")}
@@ -88,3 +256,89 @@ class LatencyStats:
             "p95_ms": float(np.percentile(window, 95) * 1e3),
             "mean_ms": float(window.mean() * 1e3),
         }
+
+
+class TelemetryExporter:
+    """Journal periodic telemetry snapshots of a service as append-only JSONL.
+
+    ``source`` is anything with a ``telemetry_snapshot() -> dict`` method
+    (:class:`~repro.serve.DCNService` and :class:`~repro.serve.ServePool`
+    both qualify).  Every ``interval_s`` a snapshot is appended through
+    the crash-safe :class:`~repro.runner.ledger.Ledger` — single
+    ``O_APPEND`` writes, group-commit fsync — as an event record::
+
+        {"kind": "event", "event": "serve-telemetry", "seq": n,
+         "time": <unix>, "final": bool, ...snapshot...}
+
+    so a long overload run leaves a time series of counters and tail
+    percentiles that survives the process dying mid-run.  A final
+    snapshot is written on :meth:`stop`.
+    """
+
+    def __init__(self, source, path: str | Path, interval_s: float = 1.0,
+                 fsync_every: int = 16):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        from ..runner.ledger import Ledger  # stdlib-only module; no cycle
+
+        self.source = source
+        self.path = Path(path)
+        self.interval_s = interval_s
+        self._ledger = Ledger(self.path, fsync_every=fsync_every)
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def snapshot_now(self, final: bool = False) -> dict:
+        """Journal one snapshot immediately; returns the record written."""
+        record = {
+            "event": TELEMETRY_EVENT,
+            "seq": self._seq,
+            "time": round(time.time(), 3),
+            "final": bool(final),
+            **self.source.telemetry_snapshot(),
+        }
+        self._seq += 1
+        self._ledger.event(**record)
+        return record
+
+    def start(self) -> "TelemetryExporter":
+        if self._thread is not None:
+            raise RuntimeError("exporter already started")
+        self._stop.clear()
+
+        def loop():
+            while not self._stop.wait(self.interval_s):
+                self.snapshot_now()
+
+        self._thread = threading.Thread(target=loop, name="serve-telemetry", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the export thread, write a final snapshot, flush to disk."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.snapshot_now(final=True)
+        self._ledger.flush()
+        self._ledger.close()
+
+    def __enter__(self) -> "TelemetryExporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def read_telemetry(path: str | Path) -> list[dict]:
+    """Replay a telemetry journal: the snapshot records, in file order.
+
+    Tolerates a torn trailing line (crash mid-append) exactly like the
+    runner's ledger replay — everything before it is returned.
+    """
+    from ..runner.ledger import Ledger
+
+    state = Ledger(path).replay()
+    return [rec for rec in state.events if rec.get("event") == TELEMETRY_EVENT]

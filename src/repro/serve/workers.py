@@ -1,0 +1,522 @@
+"""Multi-worker serving: N forked ``DCNService`` workers behind one front end.
+
+:class:`ServePool` scales the single-process service horizontally:
+
+Sharded front end
+    ``submit()`` routes each request to a worker by a **deterministic
+    shard-by-request** rule — request sequence number modulo the worker
+    count, falling to the next live worker in the ring when the target is
+    dead.  Every worker runs its own :class:`~repro.serve.DCNService`
+    over the same (fork-inherited) DCN, so served labels stay
+    bitwise-identical to offline ``DCN.classify`` no matter which worker
+    a request lands on: the per-input corrector noise streams make the
+    label a pure function of the row.
+
+Lease-based liveness
+    Workers reuse PR 7's lease discipline: each claims a
+    ``serve-worker-<id>`` lease in a shared JSONL ledger at startup and
+    heartbeats it (append-only, crash-safe
+    :class:`~repro.runner.ledger.Ledger` records).  The front end's
+    monitor marks a worker dead when its process exits *or* its lease
+    expires (alive but wedged), and a dead worker's in-flight requests
+    **resolve as shed** — callers blocked in ``ticket.wait()`` unblock
+    immediately instead of hanging, and later requests route around the
+    corpse.  SIGKILL is additionally caught fast through pipe EOF.
+
+Merged telemetry
+    Workers ship :class:`~repro.serve.telemetry.ServeCounters` snapshots
+    and mergeable :class:`~repro.serve.telemetry.LatencySketch` states on
+    demand; :meth:`ServePool.fleet_snapshot` sums counters and merges
+    sketches into fleet-wide p50/p95 without ever shipping raw latency
+    windows.  The pool exposes ``telemetry_snapshot()`` so a
+    :class:`~repro.serve.telemetry.TelemetryExporter` can journal the
+    fleet time series exactly like a single service's.
+
+``fork`` is the only supported start method (the DCN and its engines are
+inherited, never pickled); :func:`repro.runner.pool.fork_available`
+gates it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from ..runner.ledger import Ledger, new_lease_id
+from .service import DCNService, ServeResult, ServeTicket, validate_request
+from .telemetry import LatencySketch, ServeCounters
+
+__all__ = ["ServePool", "worker_lease_key"]
+
+
+def worker_lease_key(worker_id: int) -> str:
+    """Ledger lease key under which serving worker ``worker_id`` heartbeats."""
+    return f"serve-worker-{worker_id}"
+
+
+class ServePool:
+    """Forked multi-worker serving front end over one DCN.
+
+    Parameters
+    ----------
+    dcn:
+        The defense to serve; inherited by every forked worker.
+    workers:
+        Worker process count (>= 1).
+    ledger_path:
+        Liveness ledger path (lease claims/heartbeats/releases).  Default:
+        a fresh temporary file — pass a real path to post-mortem a run.
+    lease_ttl:
+        Seconds without a heartbeat before a worker counts as wedged and
+        its in-flight requests shed.
+    heartbeat_interval:
+        Seconds between worker heartbeats (default ``lease_ttl / 4``).
+    dispatch_hook:
+        Test seam: ``hook(worker_id, n_requests)`` runs in the worker
+        before each dispatch — the chaos tests stall a worker with it.
+    service_kwargs:
+        Forwarded to each worker's :class:`DCNService` (``max_batch``,
+        ``slo_target_s``, ``overload``, ...).
+    """
+
+    _STATS_TIMEOUT = 5.0
+
+    def __init__(
+        self,
+        dcn,
+        workers: int = 2,
+        ledger_path: str | Path | None = None,
+        lease_ttl: float = 5.0,
+        heartbeat_interval: float | None = None,
+        dispatch_hook=None,
+        **service_kwargs,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+        from ..runner.pool import fork_available
+
+        if not fork_available():  # pragma: no cover - non-POSIX
+            raise RuntimeError("ServePool needs the fork start method")
+        self.dcn = dcn
+        self.workers = workers
+        self.lease_ttl = lease_ttl
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else lease_ttl / 4.0
+        )
+        self.dispatch_hook = dispatch_hook
+        self.service_kwargs = dict(service_kwargs)
+        self.max_batch = int(self.service_kwargs.get("max_batch", 64))
+        if ledger_path is None:
+            fd, tmp = tempfile.mkstemp(prefix="serve-pool-", suffix=".jsonl")
+            os.close(fd)
+            ledger_path = tmp
+        self.ledger_path = Path(ledger_path)
+        self.front_shed = 0  # sheds decided by the front end (dead workers)
+        self.worker_deaths = 0
+        self._lock = threading.Lock()
+        self._running = False
+        self._seq = 0
+        self._next_id = 0
+        self._stats_seq = 0
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._conns: list = []
+        self._send_locks: list[threading.Lock] = []
+        self._dead: set[int] = set()
+        self._inflight: list[dict[int, ServeTicket]] = []
+        self._stats_waits: dict[int, dict] = {}
+        self._last_snapshots: dict[int, dict] = {}
+        self._threads: list[threading.Thread] = []
+        self._monitor_stop = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ServePool":
+        with self._lock:
+            if self._running:
+                raise RuntimeError("pool already started")
+            self._running = True
+        ctx = multiprocessing.get_context("fork")
+        pipes = [ctx.Pipe(duplex=True) for _ in range(self.workers)]
+        for worker_id, (parent_conn, child_conn) in enumerate(pipes):
+            # The child inherits every pipe end; it must close all but its
+            # own so a SIGKILLed sibling's pipe actually reaches EOF.
+            inherited = [
+                conn
+                for other_id, (p, c) in enumerate(pipes)
+                for conn in ((p, c) if other_id != worker_id else (p,))
+            ]
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    child_conn,
+                    inherited,
+                    self.dcn,
+                    self.service_kwargs,
+                    str(self.ledger_path),
+                    self.lease_ttl,
+                    self.heartbeat_interval,
+                    self.dispatch_hook,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._send_locks.append(threading.Lock())
+            self._inflight.append({})
+            child_conn.close()
+        for worker_id, conn in enumerate(self._conns):
+            thread = threading.Thread(
+                target=self._receive_loop, args=(worker_id, conn),
+                name=f"serve-pool-recv-{worker_id}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        monitor = threading.Thread(
+            target=self._monitor_loop, name="serve-pool-monitor", daemon=True
+        )
+        monitor.start()
+        self._threads.append(monitor)
+        return self
+
+    def stop(self) -> None:
+        """Final fleet snapshot, clean worker shutdown, join everything."""
+        with self._lock:
+            if not self._running:
+                return
+        # Snapshot while the workers can still answer, so post-stop
+        # counters reflect the full run.
+        self.fleet_snapshot()
+        with self._lock:
+            self._running = False
+        self._monitor_stop.set()
+        # Bypass _send's dead-worker check: a worker marked dead for a
+        # lease lapse may still be alive and must still see the stop.
+        for worker_id in range(self.workers):
+            try:
+                with self._send_locks[worker_id]:
+                    self._conns[worker_id].send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - wedged worker backstop
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        # Anything still unresolved (worker died with the stop in flight)
+        # sheds rather than hangs.
+        for worker_id in range(self.workers):
+            self._mark_dead(worker_id, shutdown=True)
+
+    def __enter__(self) -> "ServePool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def processes(self) -> list:
+        """The worker processes (the chaos tests SIGKILL these)."""
+        return list(self._procs)
+
+    def live_workers(self) -> list[int]:
+        with self._lock:
+            return [w for w in range(self.workers) if w not in self._dead]
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, x) -> ServeTicket:
+        """Route one request to its shard; returns immediately.
+
+        If every worker is dead the ticket resolves as shed — the pool
+        never blocks a caller on a corpse.
+        """
+        x = validate_request(x, self.max_batch)
+        with self._lock:
+            if not self._running:
+                raise RuntimeError("pool is not started; use start() or a with block")
+            base = self._seq
+            self._seq += 1
+            worker_id = None
+            for offset in range(self.workers):
+                candidate = (base + offset) % self.workers
+                if candidate not in self._dead:
+                    worker_id = candidate
+                    break
+            if worker_id is None:
+                self.front_shed += 1
+                return ServeTicket(ServeResult(status="shed"))
+            request_id = self._next_id
+            self._next_id += 1
+            ticket = ServeTicket()
+            self._inflight[worker_id][request_id] = ticket
+        if not self._send(worker_id, ("req", request_id, x)):
+            # Send raced the worker dying; _mark_dead resolved the ticket.
+            pass
+        return ticket
+
+    def classify(self, x, timeout: float | None = 30.0) -> ServeResult:
+        """Blocking convenience: ``submit`` + ``wait``."""
+        return self.submit(x).wait(timeout)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def fleet_snapshot(self, timeout: float | None = None) -> dict:
+        """Merged counters + fleet-wide latency percentiles, one dict.
+
+        Live workers are polled for fresh snapshots; dead workers
+        contribute their last one (work since then died with them).
+        Front-end sheds — requests lost to dead workers — are folded into
+        the merged ``shed`` count.
+        """
+        timeout = self._STATS_TIMEOUT if timeout is None else timeout
+        with self._lock:
+            running = self._running
+            live = [w for w in range(self.workers) if w not in self._dead]
+        if running and live:
+            with self._lock:
+                seq = self._stats_seq
+                self._stats_seq += 1
+                slot = {"event": threading.Event(), "got": {}, "want": set(live)}
+                self._stats_waits[seq] = slot
+            for worker_id in live:
+                if not self._send(worker_id, ("stats", seq)):
+                    with self._lock:
+                        slot["want"].discard(worker_id)
+                        if slot["want"] <= set(slot["got"]):
+                            slot["event"].set()
+            slot["event"].wait(timeout)
+            with self._lock:
+                self._stats_waits.pop(seq, None)
+        with self._lock:
+            snapshots = dict(self._last_snapshots)
+            front_shed = self.front_shed
+            dead = sorted(self._dead)
+        counters = ServeCounters.merged(
+            [snap["counters"] for snap in snapshots.values()]
+        )
+        counters.shed += front_shed
+        sketch = LatencySketch()
+        for snap in snapshots.values():
+            sketch.merge_state(snap["sketch"])
+        return {
+            "counters": counters.as_dict(),
+            "latency": sketch.summary(),
+            "sketch": sketch.state(),
+            "workers": {
+                "total": self.workers,
+                "dead": dead,
+                "reporting": sorted(snapshots),
+                "front_shed": front_shed,
+            },
+        }
+
+    def telemetry_snapshot(self) -> dict:
+        """Exporter hook: same shape as ``DCNService.telemetry_snapshot``."""
+        return self.fleet_snapshot()
+
+    def counters(self) -> ServeCounters:
+        """Merged fleet :class:`ServeCounters` (front-end sheds included)."""
+        snapshot = self.fleet_snapshot()
+        merged = ServeCounters.merged([snapshot["counters"]])
+        return merged
+
+    def latency_summary(self) -> dict:
+        """Fleet-wide p50/p95/mean from the merged sketches."""
+        return self.fleet_snapshot()["latency"]
+
+    # -- internals -------------------------------------------------------------
+
+    def _send(self, worker_id: int, message) -> bool:
+        with self._lock:
+            if worker_id in self._dead:
+                return False
+            conn = self._conns[worker_id]
+        try:
+            with self._send_locks[worker_id]:
+                conn.send(message)
+            return True
+        except (OSError, ValueError, BrokenPipeError):
+            self._mark_dead(worker_id)
+            return False
+
+    def _mark_dead(self, worker_id: int, shutdown: bool = False) -> None:
+        """Dead/wedged worker: shed its in-flight requests, stop routing."""
+        with self._lock:
+            already = worker_id in self._dead
+            if not already:
+                self._dead.add(worker_id)
+                if not shutdown:
+                    self.worker_deaths += 1
+            orphans = list(self._inflight[worker_id].values())
+            self._inflight[worker_id] = {}
+            self.front_shed += len(orphans)
+            for slot in self._stats_waits.values():
+                slot["want"].discard(worker_id)
+                if slot["want"] <= set(slot["got"]):
+                    slot["event"].set()
+        for ticket in orphans:
+            ticket._resolve(ServeResult(status="shed"))
+
+    def _receive_loop(self, worker_id: int, conn) -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "result":
+                _, request_id, status, labels, flagged, latency_s = message
+                with self._lock:
+                    ticket = self._inflight[worker_id].pop(request_id, None)
+                if ticket is not None:
+                    ticket._resolve(
+                        ServeResult(
+                            status=status, labels=labels, flagged=flagged,
+                            latency_s=latency_s,
+                        )
+                    )
+            elif kind == "stats":
+                _, seq, snapshot = message
+                with self._lock:
+                    self._last_snapshots[worker_id] = snapshot
+                    slot = self._stats_waits.get(seq)
+                    if slot is not None:
+                        slot["got"][worker_id] = snapshot
+                        if slot["want"] <= set(slot["got"]):
+                            slot["event"].set()
+        with self._lock:
+            shutting_down = not self._running
+        self._mark_dead(worker_id, shutdown=shutting_down)
+
+    def _monitor_loop(self) -> None:
+        """Lease-expiry watchdog: the wedged-worker detector.
+
+        Process death is caught fast by pipe EOF; this thread catches the
+        uglier case — a worker that is alive but stopped heartbeating
+        (stuck in a dispatch, paged out, livelocked).  Its lease expiring
+        in the shared ledger is the signal, exactly as in the runner's
+        worker pool.
+        """
+        reader = Ledger(self.ledger_path)
+        interval = max(0.05, min(self.lease_ttl / 4.0, 0.5))
+        while not self._monitor_stop.wait(interval):
+            with self._lock:
+                live = [w for w in range(self.workers) if w not in self._dead]
+            if not live:
+                continue
+            state = reader.replay()
+            now = time.time()
+            for worker_id in live:
+                if not self._procs[worker_id].is_alive():
+                    self._mark_dead(worker_id)
+                    continue
+                lease = state.leases.get(worker_lease_key(worker_id))
+                if lease is not None and now > lease["deadline"]:
+                    self._mark_dead(worker_id)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(
+    worker_id: int,
+    conn,
+    inherited_conns,
+    dcn,
+    service_kwargs,
+    ledger_path: str,
+    lease_ttl: float,
+    heartbeat_interval: float,
+    dispatch_hook,
+) -> None:
+    """One forked serving worker: recv, coalesce, serve, reply, heartbeat."""
+    for other in inherited_conns:
+        other.close()
+    service = DCNService(dcn, **service_kwargs)
+    ledger = Ledger(ledger_path, fsync=False)
+    lease_id = new_lease_id()
+    key = worker_lease_key(worker_id)
+    now = time.time()
+    ledger.lease("claim", key, lease_id, worker_id, now, now + lease_ttl)
+
+    stop_beating = threading.Event()
+
+    def beat():
+        while not stop_beating.wait(heartbeat_interval):
+            t = time.time()
+            ledger.lease("heartbeat", key, lease_id, worker_id, t, t + lease_ttl)
+
+    heartbeat = threading.Thread(target=beat, daemon=True)
+    heartbeat.start()
+    try:
+        while True:
+            try:
+                messages = [conn.recv()]
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            try:
+                while conn.poll():
+                    messages.append(conn.recv())
+            except (EOFError, OSError):
+                pass
+            stopping = False
+            requests: list[tuple[int, object]] = []
+            stats_seqs: list[int] = []
+            for message in messages:
+                kind = message[0]
+                if kind == "req":
+                    requests.append((message[1], message[2]))
+                elif kind == "stats":
+                    stats_seqs.append(message[1])
+                elif kind == "stop":
+                    stopping = True
+            try:
+                if requests:
+                    if dispatch_hook is not None:
+                        dispatch_hook(worker_id, len(requests))
+                    try:
+                        results = service.serve_batch([x for _, x in requests])
+                    except Exception as exc:  # tickets must always resolve
+                        ledger.event(
+                            "serve-worker-error", worker=worker_id,
+                            error=type(exc).__name__, message=str(exc),
+                        )
+                        results = [ServeResult(status="shed")] * len(requests)
+                    for (request_id, _), result in zip(requests, results):
+                        conn.send((
+                            "result", request_id, result.status,
+                            result.labels, result.flagged, result.latency_s,
+                        ))
+                for seq in stats_seqs:
+                    conn.send(("stats", seq, service.telemetry_snapshot()))
+            except (OSError, BrokenPipeError):  # front end went away
+                break
+            if stopping:
+                break
+    finally:
+        stop_beating.set()
+        heartbeat.join(timeout=2.0)
+        t = time.time()
+        ledger.lease("release", key, lease_id, worker_id, t, t)
+        ledger.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -132,3 +132,53 @@ class TestSummarizeLatencies:
         summary = summarize_latencies([])
         assert summary["count"] == 0.0
         assert np.isnan(summary["p50_ms"])
+
+
+class TestShedAccounting:
+    """Regression: sheds used to inflate req/s and NaN-poison percentiles."""
+
+    def test_requests_per_sec_excludes_shed(self):
+        from repro.serve import RunStats
+
+        stats = RunStats(
+            labels=[np.zeros(1, dtype=np.int64), None, None],
+            statuses=["ok", "shed", "shed"],
+            seconds=2.0,
+            latencies_s=[0.001],
+        )
+        assert stats.served == 1
+        assert stats.shed == 2
+        assert stats.requests_per_sec == pytest.approx(0.5)  # 1 served / 2s
+
+    def test_summarize_latencies_drops_nan(self):
+        summary = summarize_latencies([0.001, float("nan"), 0.003, float("inf")])
+        assert summary["count"] == 2.0
+        assert np.isfinite(summary["p50_ms"])
+        assert np.isfinite(summary["p95_ms"])
+        assert summary["mean_ms"] == pytest.approx(2.0)
+
+    def test_run_coalesced_under_shedding_keeps_finite_stats(self, tiny_correct,
+                                                             pools):
+        network, _, _ = tiny_correct
+        benign, _ = pools
+        dcn = DCN(
+            network,
+            _RuleDetector(network, _flag_even),
+            Corrector(network, radius=0.1, samples=20, seed=0),
+        )
+        stream = build_stream(
+            benign, None, StreamSpec(requests=8, max_size=1, seed=9)
+        )
+        service = DCNService(dcn, max_batch=16, max_queue=2, overload="shed")
+        stats = run_coalesced(service, stream, window=8)
+        assert stats.statuses == ["ok"] * 2 + ["shed"] * 6
+        assert stats.served == 2 and stats.shed == 6
+        # Only served requests contribute latencies; every stat is finite.
+        assert len(stats.latencies_s) == 2
+        summary = summarize_latencies(stats.latencies_s)
+        assert summary["count"] == 2.0
+        assert np.isfinite(summary["p95_ms"])
+        assert all(
+            label is None for label, status in zip(stats.labels, stats.statuses)
+            if status == "shed"
+        )

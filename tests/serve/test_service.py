@@ -8,6 +8,7 @@ and ``benchmarks/bench_serve_latency.py``.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -214,3 +215,74 @@ class TestTelemetry:
         service.serve_batch([x[:2]])
         assert frozen.batches == 1
         assert service.counters.batches == 2
+
+
+class TestQueueGauges:
+    def test_serve_batch_updates_and_clears_gauges(self, tiny_correct, tiny_dcn):
+        """Regression: sync mode used to never touch counters.queue_depth."""
+        _, x, _ = tiny_correct
+        service = DCNService(tiny_dcn, max_batch=4, max_queue=64)
+        service.serve_batch(_requests(x, [1] * 6))
+        # The drain saw the queue at its admitted size...
+        assert service.counters.max_queue_depth == 6
+        # ...and left both gauges at zero, not stale at the high-water mark.
+        assert service.counters.queue_depth == 0
+        assert service.counters.queued_rows == 0
+
+    def test_threaded_gauges_track_queue_and_clear_on_stop(self, tiny_correct,
+                                                           tiny_dcn):
+        """Regression: gauges stayed stale after the stop() drain."""
+        _, x, _ = tiny_correct
+        # max_batch and max_delay both unreachable: everything queues
+        # until stop() drains, making the gauge deterministic mid-run.
+        service = DCNService(tiny_dcn, max_batch=64, max_queue=64, max_delay=30.0)
+        with service:
+            tickets = [service.submit(x[i : i + 1]) for i in range(4)]
+            assert service.counters.queue_depth == 4
+            assert service.counters.queued_rows == 4
+        assert all(t.wait(10.0).status == "ok" for t in tickets)
+        assert service.counters.queue_depth == 0
+        assert service.counters.queued_rows == 0
+
+
+class TestThreadedOverload:
+    def test_degrade_to_shed_transition_and_immediate_shed_tickets(
+        self, tiny_correct, tiny_dcn
+    ):
+        _, x, _ = tiny_correct
+        # Dispatch is unreachable (huge max_batch, long max_delay), so the
+        # queue builds exactly with the submissions: depths 0,1 admit,
+        # 2,3 degrade, and 4 = 2*max_queue sheds.
+        service = DCNService(
+            tiny_dcn, max_batch=64, max_queue=2, max_delay=30.0, overload="degrade"
+        )
+        with service:
+            tickets = [service.submit(x[i : i + 1]) for i in range(8)]
+            # Shed tickets resolve immediately -- callers never block on
+            # a rejected request.
+            t0 = time.perf_counter()
+            shed_now = [tickets[i].wait(0.05) for i in range(4, 8)]
+            assert time.perf_counter() - t0 < 0.5
+            assert [r.status for r in shed_now] == ["shed"] * 4
+            assert service.counters.shed == 4
+            assert service.counters.degraded == 2
+        # stop() drains the four admitted requests.
+        drained = [t.wait(10.0) for t in tickets[:4]]
+        assert [r.status for r in drained] == ["ok", "ok", "degraded", "degraded"]
+        for result, i in zip(drained[:2], range(2)):
+            np.testing.assert_array_equal(result.labels, tiny_dcn.classify(x[i : i + 1]))
+        assert service.counters.queue_depth == 0
+
+
+class TestIdleDispatcher:
+    def test_idle_service_makes_no_spurious_wakeups(self, tiny_correct, tiny_dcn):
+        """Regression: the idle loop used to poll cond.wait(0.05) forever."""
+        _, x, _ = tiny_correct
+        with DCNService(tiny_dcn, max_batch=8, max_queue=64, max_delay=0.001) as service:
+            service.classify(x[:2], timeout=10.0)
+            # Idle long enough that the old polling loop would have
+            # woken dozens of times.
+            time.sleep(0.3)
+            service.classify(x[2:4], timeout=10.0)
+            time.sleep(0.3)
+        assert service.idle_wakeups == 0

@@ -1,0 +1,164 @@
+"""Telemetry: mergeable counters, latency sketch, streaming JSONL export."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DCN, Corrector
+from repro.serve import (
+    DCNService,
+    LatencySketch,
+    ServeCounters,
+    TelemetryExporter,
+    read_telemetry,
+)
+
+
+class _RuleDetector:
+    def __init__(self, network, rule):
+        self.network = network
+        self._rule = rule
+
+    def is_adversarial(self, logits):
+        return self._rule(np.asarray(logits))
+
+
+@pytest.fixture()
+def tiny_dcn(tiny_correct):
+    network, _, _ = tiny_correct
+    detector = _RuleDetector(network, lambda lg: lg.argmax(axis=-1) % 2 == 0)
+    return DCN(network, detector, Corrector(network, radius=0.1, samples=20, seed=0))
+
+
+class TestServeCountersMerged:
+    def test_sums_counts_maxes_gauge_high_water(self):
+        a = ServeCounters(requests=3, examples=9, shed=1, max_queue_depth=4,
+                          seconds=0.5)
+        b = ServeCounters(requests=5, examples=10, shed=0, max_queue_depth=7,
+                          seconds=0.25)
+        merged = ServeCounters.merged([a, b])
+        assert merged.requests == 8
+        assert merged.examples == 19
+        assert merged.shed == 1
+        assert merged.max_queue_depth == 7  # high-water mark: max, not sum
+        assert merged.seconds == pytest.approx(0.75)
+
+    def test_accepts_wire_dicts_and_ignores_unknown_keys(self):
+        wire = ServeCounters(requests=2).as_dict()
+        wire["from_the_future"] = 99
+        merged = ServeCounters.merged([wire, ServeCounters(requests=1)])
+        assert merged.requests == 3
+        assert not hasattr(merged, "from_the_future")
+
+    def test_empty_merge_is_zero(self):
+        assert ServeCounters.merged([]) == ServeCounters()
+
+
+class TestLatencySketch:
+    def test_percentiles_within_relative_error(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=-6.0, sigma=1.0, size=4000)
+        sketch = LatencySketch(alpha=0.01)
+        for v in values:
+            sketch.record(float(v))
+        for q in (50, 95, 99):
+            true = float(np.percentile(values, q))
+            got = sketch.percentile(q)
+            assert abs(got - true) <= 0.02 * true  # 2*alpha headroom
+
+    def test_merge_equals_single_sketch_exactly(self):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(scale=0.01, size=1000)
+        whole = LatencySketch()
+        left, right = LatencySketch(), LatencySketch()
+        for i, v in enumerate(values):
+            whole.record(float(v))
+            (left if i % 2 else right).record(float(v))
+        left.merge(right)
+        # Same bucket counts -> identical percentile output, not just close.
+        assert left.percentile(50) == whole.percentile(50)
+        assert left.percentile(95) == whole.percentile(95)
+        assert left.count == whole.count
+
+    def test_state_round_trips_through_json(self):
+        sketch = LatencySketch()
+        for v in (0.001, 0.02, 0.3):
+            sketch.record(v)
+        state = json.loads(json.dumps(sketch.state()))
+        clone = LatencySketch.from_state(state)
+        assert clone.summary() == sketch.summary()
+
+    def test_drops_non_finite_and_negative(self):
+        sketch = LatencySketch()
+        sketch.record(float("nan"))
+        sketch.record(float("inf"))
+        sketch.record(-1.0)
+        assert sketch.count == 0
+        assert math.isnan(sketch.percentile(50))
+
+    def test_underflow_bucket_and_clamping(self):
+        sketch = LatencySketch()
+        sketch.record(0.0)  # below MIN_VALUE -> underflow bucket
+        sketch.record(0.01)
+        assert sketch.count == 2
+        assert sketch.percentile(0) == 0.0
+        assert sketch.percentile(100) <= sketch.max
+
+    def test_alpha_mismatch_refuses_merge(self):
+        with pytest.raises(ValueError, match="alpha"):
+            LatencySketch(alpha=0.01).merge(LatencySketch(alpha=0.02))
+
+    def test_empty_merge_is_noop(self):
+        sketch = LatencySketch()
+        sketch.record(0.01)
+        before = sketch.summary()
+        sketch.merge(LatencySketch())
+        assert sketch.summary() == before
+
+
+class TestTelemetryExporter:
+    def test_journals_snapshots_and_final_record(self, tiny_correct, tiny_dcn,
+                                                 tmp_path):
+        _, x, _ = tiny_correct
+        service = DCNService(tiny_dcn, max_batch=8, max_queue=64, slo_target_s=30.0)
+        journal = tmp_path / "telemetry.jsonl"
+        with TelemetryExporter(service, journal, interval_s=0.05) as exporter:
+            service.serve_batch([x[:2], x[2:5]])
+            exporter.snapshot_now()
+        records = read_telemetry(journal)
+        assert len(records) >= 2
+        assert [r["seq"] for r in records] == sorted(r["seq"] for r in records)
+        assert records[-1]["final"] is True
+        assert all(not r["final"] for r in records[:-1])
+        last = records[-1]
+        # Counters, window percentiles, mergeable sketch and the SLO cost
+        # model all stream through the journal.
+        assert last["counters"]["requests"] == 2
+        assert last["counters"]["examples"] == 5
+        assert last["latency"]["count"] == 2.0
+        assert last["sketch"]["count"] == 2
+        assert last["cost"]["observations"] >= 1
+        # The journal is plain JSONL: every line parses standalone.
+        for line in journal.read_text().splitlines():
+            json.loads(line)
+
+    def test_sketch_in_journal_reconstructs_percentiles(self, tiny_correct,
+                                                        tiny_dcn, tmp_path):
+        _, x, _ = tiny_correct
+        service = DCNService(tiny_dcn, max_batch=8, max_queue=64)
+        journal = tmp_path / "telemetry.jsonl"
+        exporter = TelemetryExporter(service, journal, interval_s=60.0)
+        service.serve_batch([x[i : i + 1] for i in range(6)])
+        exporter.snapshot_now(final=True)
+        exporter.stop()
+        state = read_telemetry(journal)[0]["sketch"]
+        sketch = LatencySketch.from_state(state)
+        assert sketch.count == 6
+        assert np.isfinite(sketch.percentile(95))
+
+    def test_validates_interval(self, tiny_dcn, tmp_path):
+        service = DCNService(tiny_dcn)
+        with pytest.raises(ValueError):
+            TelemetryExporter(service, tmp_path / "t.jsonl", interval_s=0.0)

@@ -1,0 +1,196 @@
+"""ServePool: sharded serving equivalence, merged telemetry, worker death.
+
+The chaos tests (SIGKILL, wedged-worker lease expiry) are the PR's
+acceptance criteria: a dead worker's in-flight tickets must resolve as
+shed — never hang a caller — and the survivors must finish the stream.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DCN, Corrector
+from repro.serve import (
+    LatencySketch,
+    ServeCounters,
+    ServePool,
+    StreamSpec,
+    TelemetryExporter,
+    build_stream,
+    read_telemetry,
+    run_pool,
+)
+from repro.serve.workers import worker_lease_key
+
+
+class _RuleDetector:
+    def __init__(self, network, rule):
+        self.network = network
+        self._rule = rule
+
+    def is_adversarial(self, logits):
+        return self._rule(np.asarray(logits))
+
+
+@pytest.fixture()
+def tiny_dcn(tiny_correct):
+    network, _, _ = tiny_correct
+    detector = _RuleDetector(network, lambda lg: lg.argmax(axis=-1) % 2 == 0)
+    return DCN(network, detector, Corrector(network, radius=0.1, samples=20, seed=0))
+
+
+class TestShardedServing:
+    def test_labels_bitwise_identical_to_offline(self, tiny_correct, tiny_dcn,
+                                                 tmp_path):
+        _, x, _ = tiny_correct
+        stream = build_stream(x, None, StreamSpec(requests=12, max_size=3, seed=7))
+        with ServePool(tiny_dcn, workers=2, ledger_path=tmp_path / "pool.jsonl",
+                       max_batch=8, max_queue=64) as pool:
+            stats = run_pool(pool, stream, window=6)
+        assert stats.statuses == ["ok"] * len(stream)
+        for labels, request in zip(stats.labels, stream):
+            np.testing.assert_array_equal(labels, tiny_dcn.classify(request.x))
+
+    def test_merged_counters_cover_all_workers(self, tiny_correct, tiny_dcn,
+                                               tmp_path):
+        _, x, _ = tiny_correct
+        stream = build_stream(x, None, StreamSpec(requests=10, max_size=2, seed=3))
+        rows = sum(len(r.x) for r in stream)
+        with ServePool(tiny_dcn, workers=3, ledger_path=tmp_path / "pool.jsonl",
+                       max_batch=8, max_queue=64) as pool:
+            run_pool(pool, stream, window=5)
+            snapshot = pool.fleet_snapshot()
+            # Deterministic sharding: every worker got traffic and
+            # reported a snapshot.
+            assert snapshot["workers"]["reporting"] == [0, 1, 2]
+        merged = ServeCounters.merged([snapshot["counters"]])
+        assert merged.requests == len(stream)
+        assert merged.examples == rows
+        assert merged.shed == 0
+        # Fleet-wide percentiles come from merged sketches, finite and
+        # covering every served request.
+        assert snapshot["latency"]["count"] == float(len(stream))
+        assert np.isfinite(snapshot["latency"]["p95_ms"])
+        sketch = LatencySketch.from_state(snapshot["sketch"])
+        assert sketch.count == len(stream)
+
+    def test_counters_survive_stop(self, tiny_correct, tiny_dcn, tmp_path):
+        _, x, _ = tiny_correct
+        stream = build_stream(x, None, StreamSpec(requests=6, max_size=2, seed=1))
+        pool = ServePool(tiny_dcn, workers=2, ledger_path=tmp_path / "pool.jsonl",
+                         max_batch=8, max_queue=64)
+        with pool:
+            run_pool(pool, stream, window=3)
+        # stop() snapshots before shutdown; post-stop queries still work.
+        assert pool.counters().requests == len(stream)
+
+    def test_workers_release_leases_on_clean_stop(self, tiny_correct, tiny_dcn,
+                                                  tmp_path):
+        from repro.runner.ledger import Ledger
+
+        _, x, _ = tiny_correct
+        ledger_path = tmp_path / "pool.jsonl"
+        with ServePool(tiny_dcn, workers=2, ledger_path=ledger_path,
+                       max_batch=8) as pool:
+            pool.classify(x[:2])
+        state = Ledger(ledger_path).replay()
+        for worker_id in range(2):
+            assert worker_lease_key(worker_id) not in state.leases
+
+    def test_submit_requires_start_and_validates(self, tiny_dcn, tmp_path):
+        pool = ServePool(tiny_dcn, workers=1, ledger_path=tmp_path / "pool.jsonl")
+        with pytest.raises(RuntimeError, match="not started"):
+            pool.submit(np.zeros((1, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            ServePool(tiny_dcn, workers=0)
+
+    def test_telemetry_exporter_over_pool(self, tiny_correct, tiny_dcn, tmp_path):
+        _, x, _ = tiny_correct
+        journal = tmp_path / "fleet.jsonl"
+        with ServePool(tiny_dcn, workers=2, ledger_path=tmp_path / "pool.jsonl",
+                       max_batch=8) as pool:
+            with TelemetryExporter(pool, journal, interval_s=60.0) as exporter:
+                pool.classify(x[:2])
+                pool.classify(x[2:4])
+                exporter.snapshot_now()
+        records = read_telemetry(journal)
+        assert records[-1]["final"] is True
+        assert records[-1]["counters"]["requests"] == 2
+        assert records[-1]["workers"]["total"] == 2
+
+
+class TestWorkerDeath:
+    def test_sigkill_sheds_inflight_and_survivors_finish(self, tiny_correct,
+                                                         tiny_dcn, tmp_path):
+        _, x, _ = tiny_correct
+
+        # Plain sleep, deliberately: sharing an mp.Event with a process
+        # that gets SIGKILLed can wedge the parent's set() forever (the
+        # dead sleeper never acks the notify).  The worker dies mid-nap.
+        def stall_worker_zero(worker_id, n_requests):
+            if worker_id == 0:
+                time.sleep(45.0)
+
+        pool = ServePool(
+            tiny_dcn, workers=2, ledger_path=tmp_path / "pool.jsonl",
+            max_batch=8, max_queue=64, dispatch_hook=stall_worker_zero,
+        )
+        with pool:
+            # Even sequence numbers shard to worker 0 (stalled), odd to
+            # worker 1 (healthy).
+            tickets = [pool.submit(x[i : i + 1]) for i in range(6)]
+            healthy = [tickets[i].wait(10.0) for i in (1, 3, 5)]
+            assert [r.status for r in healthy] == ["ok"] * 3
+            pool.processes[0].kill()
+            # The dead worker's in-flight tickets resolve as shed --
+            # promptly, via pipe EOF, not via a timeout.
+            doomed = [tickets[i].wait(5.0) for i in (0, 2, 4)]
+            assert [r.status for r in doomed] == ["shed"] * 3
+            assert pool.live_workers() == [1]
+            assert pool.worker_deaths == 1
+            # Later requests route around the corpse and the stream
+            # finishes on the survivor, labels still offline-identical.
+            after = [pool.submit(x[i : i + 1]) for i in range(6, 10)]
+            results = [t.wait(10.0) for t in after]
+            assert [r.status for r in results] == ["ok"] * 4
+            for i, result in zip(range(6, 10), results):
+                np.testing.assert_array_equal(
+                    result.labels, tiny_dcn.classify(x[i : i + 1])
+                )
+            snapshot = pool.fleet_snapshot()
+            assert snapshot["workers"]["dead"] == [0]
+            assert snapshot["counters"]["shed"] >= 3
+
+    def test_wedged_worker_dies_by_lease_expiry(self, tiny_correct, tiny_dcn,
+                                                tmp_path):
+        """Alive-but-stuck worker: pipe stays open, so only the lease
+        going stale in the shared ledger can unstick its callers."""
+        _, x, _ = tiny_correct
+        release = multiprocessing.get_context("fork").Event()
+
+        def wedge(worker_id, n_requests):
+            release.wait(30.0)
+
+        pool = ServePool(
+            tiny_dcn, workers=1, ledger_path=tmp_path / "pool.jsonl",
+            max_batch=8, lease_ttl=0.4, heartbeat_interval=3600.0,
+            dispatch_hook=wedge,
+        )
+        with pool:
+            ticket = pool.submit(x[:1])
+            # No heartbeats arrive, so the claim's deadline lapses and the
+            # monitor declares the worker dead without any process exit.
+            result = ticket.wait(5.0)
+            assert result.status == "shed"
+            assert pool.live_workers() == []
+            assert pool.worker_deaths == 1
+            # With every worker dead the pool sheds at the front door,
+            # immediately, instead of blocking callers.
+            t0 = time.perf_counter()
+            walkup = pool.submit(x[1:2]).wait(0.1)
+            assert walkup.status == "shed"
+            assert time.perf_counter() - t0 < 0.1
+            assert pool.front_shed >= 2
+            release.set()
