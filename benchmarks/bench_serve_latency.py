@@ -43,6 +43,17 @@ Two workloads:
   queue's worth of mean row cost) is reported un-gated to show the wait
   estimate itself binding: it sheds *more* than depth-only and pulls
   the tail down, which is what latency-governed admission is for.
+* ``remote`` — the benign gate pool replayed over the framed
+  loopback-TCP transport (``DCNServer`` forked into its own process +
+  concurrent ``DCNClient`` fleet) against the *identical* in-process
+  concurrent ticket path (same service config, same caller count, zero
+  transport).  Labels must stay bitwise-identical to offline on both
+  points.  Single-row requests report the worst-case per-request tax
+  un-gated (on the tiny bench model the frame/socket cost dominates
+  per-row compute, which it never would at production scale); the
+  gated claim rides the ``max_batch``-row point (one full coalescing
+  window per request), where the per-request tax amortises: remote
+  req/s must stay **>= 0.7x** in-process.
 
 Timing uses interleaved offline/coalesced pairs and takes the median of
 per-pair ratios: per-request dispatch is many small Python-heavy calls
@@ -63,6 +74,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import statistics
 import sys
 from pathlib import Path
@@ -73,15 +85,24 @@ import numpy as np
 
 from bench_common import bench_context, dataset_fingerprint, write_payload
 from repro.serve import (
+    DCNClient,
+    DCNServer,
     DCNService,
     StreamSpec,
     build_stream,
     run_coalesced,
     run_offline,
+    run_remote,
     summarize_latencies,
 )
 
 FRACTIONS = (0.0, 0.05, 0.10)
+REMOTE_CLIENTS = 4
+# The framed-TCP loopback path pays encode/decode plus a socket
+# round-trip per request; the bar says that at the amortised
+# (max_batch-row) point the tax costs at most 30% of the throughput of
+# the identical in-process concurrent ticket path.
+REMOTE_RATIO_BAR = 0.7
 
 
 def _labels_equal(a, b) -> bool:
@@ -125,6 +146,142 @@ def _measure(dcn, stream, pairs: int, max_batch: int, window: int) -> dict:
         "plan_misses": service.counters.plan_misses,
         "labels_equal": True,  # asserted above, recorded for the payload
     }
+
+
+def _remote_server_main(dcn, conn, max_batch: int, max_queue: int) -> None:
+    """Forked child: serve the fork-inherited DCN until told to stop."""
+    with DCNService(dcn, max_batch=max_batch, max_queue=max_queue, max_delay=0.0) as service:
+        with DCNServer(service) as server:
+            conn.send(server.address)
+            try:
+                conn.recv()  # blocks until the parent says stop
+            except (EOFError, OSError):
+                pass
+
+
+def _measure_remote_stream(dcn, stream, pairs: int, max_batch: int) -> dict:
+    """One stream through both the in-process and loopback-TCP paths.
+
+    Both sides run ``REMOTE_CLIENTS`` concurrent callers through the
+    *same* threaded :class:`DCNService` config (``max_delay=0`` so the
+    dispatcher never pads latency):
+
+    * **in-process** — the service object itself is the "client" fleet
+      (``DCNService.classify`` is submit + wait), so the run pays
+      admission, coalescing and dispatch but zero transport;
+    * **remote** — the deployment shape: a :class:`DCNServer` forked
+      into its own process (plans fork-inherited warm), ``DCNClient``
+      fleets replaying over 127.0.0.1.  Each request adds frame
+      encode/decode and a socket round trip, overlapped across the two
+      processes.
+
+    The service work is identical on both sides, so the req/s ratio
+    *is* the transport tax.  Labels are asserted bitwise-identical to
+    offline ``DCN.classify`` on both sides.
+    """
+    offline_labels = [dcn.classify(request.x) for request in stream]
+
+    def checked(stats, what: str):
+        assert stats.statuses == ["ok"] * len(stream), f"{what} run shed on loopback"
+        assert all(
+            np.array_equal(got, want)
+            for got, want in zip(stats.labels, offline_labels)
+        ), f"{what} labels diverged from offline"
+        return stats
+
+    def inprocess_run():
+        service = DCNService(
+            dcn, max_batch=max_batch, max_queue=4 * len(stream), max_delay=0.0
+        )
+        with service:
+            return checked(run_remote([service] * REMOTE_CLIENTS, stream), "in-process")
+
+    def remote_run():
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_remote_server_main,
+            args=(dcn, child, max_batch, 4 * len(stream)),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        address = tuple(parent.recv())
+        clients = [
+            DCNClient(address, backoff_seed=c) for c in range(REMOTE_CLIENTS)
+        ]
+        try:
+            return checked(run_remote(clients, stream), "remote")
+        finally:
+            for client in clients:
+                client.close()
+            try:
+                parent.send("stop")
+            except (OSError, BrokenPipeError):
+                pass
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung child cleanup
+                proc.kill()
+                proc.join(timeout=5.0)
+            parent.close()
+
+    # Warm both paths (plans compiled, socket buffers steady-state), then
+    # time interleaved pairs — same drift-cancelling idiom as _measure.
+    inprocess_run()
+    remote_run()
+    inp_runs, rem_runs, ratios = [], [], []
+    for _ in range(pairs):
+        inp = inprocess_run()
+        rem = remote_run()
+        inp_runs.append(inp)
+        rem_runs.append(rem)
+        ratios.append(inp.seconds / rem.seconds)
+
+    rows = int(sum(len(r.x) for r in stream))
+    inp_seconds = statistics.median(r.seconds for r in inp_runs)
+    rem_seconds = statistics.median(r.seconds for r in rem_runs)
+    latencies = summarize_latencies(rem_runs[-1].latencies_s)
+    return {
+        "requests": len(stream),
+        "rows_per_request": rows // len(stream),
+        "inprocess_seconds": inp_seconds,
+        "remote_seconds": rem_seconds,
+        "inprocess_req_per_sec": len(stream) / inp_seconds,
+        "remote_req_per_sec": len(stream) / rem_seconds,
+        "remote_rows_per_sec": rows / rem_seconds,
+        "ratio_vs_inprocess": statistics.median(ratios),
+        "remote_p50_ms": latencies["p50_ms"],
+        "remote_p95_ms": latencies["p95_ms"],
+        "labels_equal": True,  # asserted above, recorded for the payload
+    }
+
+
+def _measure_remote(dcn, pool, requests: int, pairs: int, max_batch: int,
+                    seed: int) -> dict:
+    """Two remote-overhead points on the benign gate pool.
+
+    The frame/socket tax is per *request*, so it shows up hardest on
+    single-row requests and amortises with request size:
+
+    * ``single_row`` — the worst case; reported, not gated, because on
+      the deliberately tiny bench model the per-request tax dominates
+      per-row compute in a way it never would at production scale.
+    * ``batched`` — ``max_batch`` rows per request (one full coalescing
+      window each): the gated claim is that with any realistic amount
+      of per-request work the wire keeps >= ``REMOTE_RATIO_BAR`` of
+      in-process throughput.
+    """
+    batch_rows = max_batch
+    out: dict = {"clients": REMOTE_CLIENTS, "batch_rows": batch_rows}
+    for key, size in (("single_row", 1), ("batched", batch_rows)):
+        spec = StreamSpec(
+            requests=requests, adv_fraction=0.0, min_size=size, max_size=size,
+            seed=seed,
+        )
+        out[key] = _measure_remote_stream(
+            dcn, build_stream(pool, None, spec), pairs, max_batch
+        )
+    return out
 
 
 def _overloaded_run(dcn, stream, max_batch: int, max_queue: int, window: int,
@@ -235,6 +392,11 @@ def run(requests: int, gate_requests: int, pairs: int, max_batch: int,
         dcn, build_stream(benign, adv, overload_spec), max_batch, max_queue=8
     )
 
+    # Remote overhead: the benign gate pool served over loopback TCP.
+    results["remote"] = _measure_remote(
+        dcn, gate_pool, requests, pairs, max_batch, seed + 2
+    )
+
     gate_speedup = results["gate"]["speedup"]
     overload = results["overload"]
     equal_everywhere = all(
@@ -244,6 +406,13 @@ def run(requests: int, gate_requests: int, pairs: int, max_batch: int,
         overload["slo_sheds_fewer"]
         and overload["slo_p95_within_target"]
         and overload["percentiles_finite"]
+    )
+    remote = results["remote"]
+    remote_ratio = remote["batched"]["ratio_vs_inprocess"]
+    meets_remote_bar = bool(
+        remote_ratio >= REMOTE_RATIO_BAR
+        and remote["batched"]["labels_equal"]
+        and remote["single_row"]["labels_equal"]
     )
     return {
         "context": bench_context(
@@ -260,8 +429,10 @@ def run(requests: int, gate_requests: int, pairs: int, max_batch: int,
         ),
         "results": results,
         "gate_speedup": gate_speedup,
+        "remote_ratio": remote_ratio,
         "meets_2x_bar": bool(gate_speedup >= 2.0 and equal_everywhere),
         "meets_slo_bar": meets_slo_bar,
+        "meets_remote_bar": meets_remote_bar,
     }
 
 
@@ -295,7 +466,8 @@ def main(argv=None) -> int:
         print(f"wrote {path}", file=sys.stderr)
     if args.smoke:
         return 0
-    return 0 if payload["meets_2x_bar"] and payload["meets_slo_bar"] else 1
+    bars = ("meets_2x_bar", "meets_slo_bar", "meets_remote_bar")
+    return 0 if all(payload[bar] for bar in bars) else 1
 
 
 if __name__ == "__main__":

@@ -53,6 +53,9 @@ python scripts/serve_smoke.py
 echo "== serve-pool smoke (2 workers, SLO admission, SIGKILL mid-stream) =="
 python scripts/serve_pool_smoke.py
 
+echo "== serve-remote smoke (framed TCP, chaos retries, deadline shed, server SIGKILL) =="
+python scripts/serve_remote_smoke.py
+
 echo "== serve-latency benchmark (smoke) =="
 python benchmarks/bench_serve_latency.py --smoke > /dev/null
 echo "ok"

@@ -174,6 +174,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="journal periodic counter/percentile snapshots to this JSONL file",
     )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve remote clients over the framed TCP transport instead of "
+        "a synthetic stream (port 0 picks a free port; Ctrl-C stops)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=30_000.0,
+        help="server-side budget for requests that carry no deadline (with --listen)",
+    )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        help="respawn budget per worker slot within --restart-window (0: no respawn)",
+    )
+    serve.add_argument(
+        "--restart-window",
+        type=float,
+        default=30.0,
+        help="sliding window, in seconds, for the --max-restarts budget",
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="offline vs coalesced serving comparison on a deterministic stream"
@@ -186,8 +211,36 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=7)
     loadgen.add_argument("--max-batch", type=int, default=64)
     loadgen.add_argument("--window", type=int, default=64, help="simultaneous arrivals per window")
+    loadgen.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="replay the stream against a live `serve --listen` server "
+        "instead of an in-process service",
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=4, help="concurrent client connections (with --connect)"
+    )
+    loadgen.add_argument(
+        "--deadline-ms", type=float, default=30_000.0,
+        help="per-request deadline propagated to the server (with --connect)",
+    )
+    loadgen.add_argument(
+        "--retries", type=int, default=2,
+        help="bounded retries for idempotent-safe failures (with --connect)",
+    )
 
     return parser
+
+
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"expected HOST:PORT, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"expected HOST:PORT with integer port, got {value!r}") from None
 
 
 def _cmd_info() -> int:
@@ -460,6 +513,67 @@ def _serve_stream(dataset_name: str | None, requests: int, adv_fraction: float,
     return ctx.dcn, build_stream(ctx.dataset.x_test, adv, spec)
 
 
+def _build_front(dcn, max_batch: int, max_queue: int, max_delay: float,
+                 overload: str, slo_target_s: float | None, workers: int,
+                 lease_ttl: float, max_restarts: int = 0,
+                 restart_window_s: float = 30.0):
+    """The serving backend behind both local streams and --listen."""
+    from .serve import DCNService, ServePool
+
+    if workers > 1:
+        return ServePool(
+            dcn, workers=workers, lease_ttl=lease_ttl, max_batch=max_batch,
+            max_queue=max_queue, max_delay=max_delay, overload=overload,
+            slo_target_s=slo_target_s, max_restarts=max_restarts,
+            restart_window_s=restart_window_s,
+        )
+    return DCNService(
+        dcn, max_batch=max_batch, max_queue=max_queue,
+        max_delay=max_delay, overload=overload, slo_target_s=slo_target_s,
+    )
+
+
+def _cmd_serve_listen(dataset_name: str | None, listen: str, max_batch: int,
+                      max_queue: int, max_delay: float, overload: str,
+                      slo_target_ms: float | None, workers: int,
+                      lease_ttl: float, max_restarts: int,
+                      restart_window: float, default_deadline_ms: float,
+                      telemetry: str | None) -> int:
+    import contextlib
+
+    from .eval import build_context, scale_config
+    from .serve import DCNServer, TelemetryExporter
+
+    host, port = _parse_hostport(listen)
+    scale = scale_config()
+    ctx = build_context(dataset_name or scale.mnist, scale)
+    slo_target_s = slo_target_ms / 1e3 if slo_target_ms is not None else None
+    front = _build_front(
+        ctx.dcn, max_batch, max_queue, max_delay, overload, slo_target_s,
+        workers, lease_ttl, max_restarts, restart_window,
+    )
+    with front:
+        server = DCNServer(
+            front, host=host, port=port,
+            default_deadline_s=default_deadline_ms / 1e3,
+        )
+        with server:
+            exporter = (
+                TelemetryExporter(server, telemetry) if telemetry is not None
+                else contextlib.nullcontext()
+            )
+            bound_host, bound_port = server.address
+            print(f"serving on {bound_host}:{bound_port} "
+                  f"({workers} worker{'s' if workers != 1 else ''}; Ctrl-C stops)",
+                  flush=True)
+            with exporter:
+                try:
+                    server.serve_forever()
+                except KeyboardInterrupt:
+                    pass
+    return 0
+
+
 def _cmd_serve(dataset_name: str | None, requests: int, adv_fraction: float,
                min_size: int, max_size: int, seed: int, max_batch: int,
                max_queue: int, max_delay: float, overload: str, burst: int,
@@ -468,23 +582,16 @@ def _cmd_serve(dataset_name: str | None, requests: int, adv_fraction: float,
     import contextlib
     import time
 
-    from .serve import DCNService, ServeCounters, ServePool, TelemetryExporter
+    from .serve import ServeCounters, TelemetryExporter
 
     dcn, stream = _serve_stream(
         dataset_name, requests, adv_fraction, min_size, max_size, seed
     )
     slo_target_s = slo_target_ms / 1e3 if slo_target_ms is not None else None
-    if workers > 1:
-        front = ServePool(
-            dcn, workers=workers, lease_ttl=lease_ttl, max_batch=max_batch,
-            max_queue=max_queue, max_delay=max_delay, overload=overload,
-            slo_target_s=slo_target_s,
-        )
-    else:
-        front = DCNService(
-            dcn, max_batch=max_batch, max_queue=max_queue,
-            max_delay=max_delay, overload=overload, slo_target_s=slo_target_s,
-        )
+    front = _build_front(
+        dcn, max_batch, max_queue, max_delay, overload, slo_target_s,
+        workers, lease_ttl,
+    )
     statuses: dict[str, int] = {}
     start = time.perf_counter()
     with front:
@@ -518,6 +625,41 @@ def _cmd_serve(dataset_name: str | None, requests: int, adv_fraction: float,
     for key, value in counters.as_dict().items():
         print(f"  {key:>18}: {value}")
     return 0
+
+
+def _cmd_loadgen_remote(dataset_name: str | None, requests: int,
+                        adv_fraction: float, min_size: int, max_size: int,
+                        seed: int, connect: str, clients: int,
+                        deadline_ms: float, retries: int) -> int:
+    from .serve import DCNClient, run_offline, run_remote, summarize_latencies
+
+    address = _parse_hostport(connect)
+    dcn, stream = _serve_stream(
+        dataset_name, requests, adv_fraction, min_size, max_size, seed
+    )
+    offline = run_offline(dcn, stream)
+    fleet = [
+        DCNClient(address, deadline_s=deadline_ms / 1e3, retries=retries,
+                  backoff_seed=c)
+        for c in range(max(1, clients))
+    ]
+    try:
+        remote = run_remote(fleet, stream)
+    finally:
+        for client in fleet:
+            client.close()
+    equal = all(
+        a is not None and np.array_equal(a, b)
+        for a, b, status in zip(remote.labels, offline.labels, remote.statuses)
+        if status != "shed"
+    )
+    lat = summarize_latencies(remote.latencies_s)
+    print(f"offline: {offline.seconds:.3f}s ({offline.requests_per_sec:.0f} req/s)")
+    print(f"remote:  {remote.seconds:.3f}s ({remote.requests_per_sec:.0f} req/s, "
+          f"{len(fleet)} clients)  p50 {lat['p50_ms']:.2f} ms  p95 {lat['p95_ms']:.2f} ms")
+    print(f"statuses: served={remote.served} shed={remote.shed}")
+    print(f"served labels bitwise-identical to offline DCN.classify: {equal}")
+    return 0 if equal else 1
 
 
 def _cmd_loadgen(dataset_name: str | None, requests: int, adv_fraction: float,
@@ -578,6 +720,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "verify":
         return _cmd_verify(args.seed, args.cases, args.dtype)
     if args.command == "serve":
+        if args.listen is not None:
+            return _cmd_serve_listen(
+                args.dataset, args.listen, args.max_batch, args.max_queue,
+                args.max_delay, args.overload, args.slo_target_ms,
+                args.workers, args.lease_ttl, args.max_restarts,
+                args.restart_window, args.default_deadline_ms, args.telemetry,
+            )
         return _cmd_serve(
             args.dataset, args.requests, args.adv_fraction, args.min_size,
             args.max_size, args.seed, args.max_batch, args.max_queue,
@@ -585,6 +734,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.workers, args.lease_ttl, args.telemetry,
         )
     if args.command == "loadgen":
+        if args.connect is not None:
+            return _cmd_loadgen_remote(
+                args.dataset, args.requests, args.adv_fraction, args.min_size,
+                args.max_size, args.seed, args.connect, args.clients,
+                args.deadline_ms, args.retries,
+            )
         return _cmd_loadgen(
             args.dataset, args.requests, args.adv_fraction, args.min_size,
             args.max_size, args.seed, args.max_batch, args.window,

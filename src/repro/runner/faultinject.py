@@ -45,6 +45,30 @@ Fault kinds
     cooperative checkpoint: raises when the global step counter hits
     ``step`` — "raise at step N" inside a unit body.
 
+Transport chaos
+---------------
+The serving transport (:mod:`repro.serve.transport`) has its own failure
+surface — the network — with its own kinds (:data:`TRANSPORT_KINDS`),
+fired by :class:`TransportChaos` on the server's reply path.  A fault's
+``unit_index`` is reinterpreted as the **server-wide request ordinal**:
+
+``conn-drop``
+    The connection is closed abruptly instead of replying — the client
+    observes a torn/absent reply and must retry (no ack was sent, so the
+    retry is idempotent-safe).
+``sock-stall``
+    The reply is withheld for ``stall_s`` seconds — the client's deadline
+    fires mid-read and the call resolves as a deadline shed.
+``server-kill``
+    A **real** ``SIGKILL`` to the serving process instead of a reply —
+    the remote analogue of the pool's ``sigkill``; only meaningful when
+    the server runs in a child process (the smoke script's scenario).
+``torn-frame``
+    Half a response frame is written, then the connection closed — the
+    torn-reply replay case: the client must classify it as retryable and
+    re-request, never hand a truncated array to the caller.
+
+
 Pool scoping
 ------------
 A :class:`Fault` may carry ``worker=N`` so it fires only inside pool
@@ -56,8 +80,12 @@ single-process chaos plans replay unchanged under the pool.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
+import socket
+import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -70,14 +98,17 @@ from ..verify import guards
 
 __all__ = [
     "ALL_KINDS",
+    "TRANSPORT_KINDS",
     "Fault",
     "FaultPlan",
     "FaultInjector",
+    "TransportChaos",
     "InjectedError",
     "SimulatedCrash",
 ]
 
 ALL_KINDS = ("raise", "nan-grad", "corrupt-cache", "interrupt", "crash", "sigkill", "hb-stall")
+TRANSPORT_KINDS = ("conn-drop", "sock-stall", "server-kill", "torn-frame")
 
 
 class InjectedError(RuntimeError):
@@ -127,7 +158,7 @@ class FaultPlan:
         consecutive attempts a ``raise``/``nan-grad`` fault poisons.
         """
         for kind in kinds:
-            if kind not in ALL_KINDS + ("step-raise",):
+            if kind not in ALL_KINDS + TRANSPORT_KINDS + ("step-raise",):
                 raise ValueError(f"unknown fault kind {kind!r}")
         rng = np.random.default_rng(seed)
         faults = []
@@ -262,4 +293,83 @@ class FaultInjector:
         target = entries[int(rng.integers(0, len(entries)))]
         with open(target, "r+b") as handle:
             handle.write(b"\x00CHAOS\x00" * 4)
+        return True
+
+
+class TransportChaos:
+    """Reply-path chaos for :class:`~repro.serve.transport.DCNServer`.
+
+    Reuses :class:`FaultPlan` with :data:`TRANSPORT_KINDS`, reinterpreting
+    ``unit_index`` as the server-wide **request ordinal** (0-based, in
+    admission order).  The server asks :meth:`reply_fault` once per reply
+    and, when a fault matches, hands control to :meth:`fire` *instead of*
+    sending the normal response first — so every injected failure happens
+    before the client could have seen an ack, which is exactly the window
+    where retry is idempotent-safe.
+
+    ``stall_s`` bounds the ``sock-stall`` kind: long enough to blow any
+    sane client deadline in tests, short enough not to wedge the suite.
+    """
+
+    def __init__(self, plan: FaultPlan, stall_s: float = 0.5):
+        self.plan = plan
+        self.stall_s = stall_s
+        self.fired: list[Fault] = []
+        self._lock = threading.Lock()
+
+    def reply_fault(self, ordinal: int) -> Fault | None:
+        """The transport fault aimed at request ``ordinal``, if any."""
+        for fault in self.plan.faults:
+            if fault.kind in TRANSPORT_KINDS and fault.unit_index == ordinal:
+                return fault
+        return None
+
+    def fire(self, fault: Fault, conn, meta: dict, body: bytes) -> bool:
+        """Fire ``fault`` on the reply path; False tells the server the
+        connection is dead and must be dropped without a (full) reply."""
+        with self._lock:
+            self.fired.append(fault)
+        if fault.kind == "conn-drop":
+            # Vanish instead of replying: the client sees EOF mid-request
+            # and classifies it as a retryable torn reply.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+            return False
+        if fault.kind == "sock-stall":
+            # Withhold the reply long enough for the client's deadline to
+            # fire mid-read, then let the (now pointless) send proceed.
+            time.sleep(self.stall_s)
+            return True
+        if fault.kind == "server-kill":
+            # A real hard kill mid-stream: no cleanup, no reply.  Clients
+            # see EOF/refused connections; supervision must recover.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault.kind == "torn-frame":
+            # Send *half* a well-formed response frame then die: the
+            # header promises bytes that never arrive, so the client's
+            # reader raises a structured "torn" error, never a partial
+            # array.
+            from ..serve import transport as _transport
+
+            meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+            frame = (
+                _transport._HEADER.pack(
+                    _transport.PROTOCOL_MAGIC,
+                    _transport.PROTOCOL_VERSION,
+                    _transport.KIND_RESPONSE,
+                    len(meta_bytes),
+                    len(body),
+                )
+                + meta_bytes
+                + body
+            )
+            try:
+                conn.sendall(frame[: max(1, len(frame) // 2)])
+            except OSError:
+                pass
+            conn.close()
+            return False
         return True

@@ -10,6 +10,7 @@ layer") for the full design and ``python -m repro serve`` for the CLI.
 """
 
 from .bucketing import bucket_for, bucket_sizes, pad_to_bucket
+from .client import CircuitBreaker, ClientCounters, DCNClient, RemoteProtocolError
 from .loadgen import (
     GeneratedRequest,
     RunStats,
@@ -18,6 +19,7 @@ from .loadgen import (
     run_coalesced,
     run_offline,
     run_pool,
+    run_remote,
     summarize_latencies,
 )
 from .service import OVERLOAD_POLICIES, DCNService, ServeResult, ServeTicket
@@ -28,20 +30,41 @@ from .telemetry import (
     ServeCounters,
     TelemetryExporter,
     read_telemetry,
+    rotated_segment,
 )
-from .workers import ServePool
+from .transport import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_ERROR_CODES,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    DCNServer,
+    FrameError,
+)
+from .workers import ServePool, worker_lease_key
 
 __all__ = [
     "DCNService",
     "ServeResult",
     "ServeTicket",
     "ServePool",
+    "worker_lease_key",
+    "DCNServer",
+    "DCNClient",
+    "ClientCounters",
+    "CircuitBreaker",
+    "RemoteProtocolError",
+    "FrameError",
+    "FRAME_ERROR_CODES",
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
     "OVERLOAD_POLICIES",
     "ServeCounters",
     "LatencyStats",
     "LatencySketch",
     "TelemetryExporter",
     "read_telemetry",
+    "rotated_segment",
     "DispatchCostModel",
     "SloAdmission",
     "AdmissionDecision",
@@ -55,5 +78,6 @@ __all__ = [
     "run_offline",
     "run_coalesced",
     "run_pool",
+    "run_remote",
     "summarize_latencies",
 ]

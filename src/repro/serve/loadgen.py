@@ -14,6 +14,7 @@ bitwise equivalence between served and offline labels.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -30,6 +31,7 @@ __all__ = [
     "run_offline",
     "run_coalesced",
     "run_pool",
+    "run_remote",
     "summarize_latencies",
 ]
 
@@ -210,6 +212,55 @@ def run_pool(
             if result.ok:
                 stats.latencies_s.append(result.latency_s)
     stats.seconds = clock() - start
+    return stats
+
+
+def run_remote(
+    clients,
+    stream: list[GeneratedRequest],
+    clock=time.perf_counter,
+) -> RunStats:
+    """Replay ``stream`` against a live server through ``clients``.
+
+    Request ``i`` goes to client ``i % len(clients)`` — a deterministic
+    assignment, so a rerun with the same stream and client fleet issues
+    exactly the same calls in the same per-connection order.  Each client
+    drives its subset sequentially on its own thread (a
+    :class:`~repro.serve.client.DCNClient` serialises its socket anyway),
+    which models ``len(clients)`` concurrent callers: their in-flight
+    requests coalesce in the server backend's micro-batching dispatcher.
+    Results are reassembled in stream order, so ``labels`` lines up with
+    the offline baseline for bitwise comparison.
+
+    Every entry in ``statuses`` resolves — ``ok``/``degraded``/``shed`` —
+    because :meth:`DCNClient.classify` converts transport failures into
+    sheds or structured errors rather than hanging.
+    """
+    if not clients:
+        raise ValueError("need at least one client")
+    results: list[ServeResult | None] = [None] * len(stream)
+
+    def drive(client_index: int) -> None:
+        client = clients[client_index]
+        for i in range(client_index, len(stream), len(clients)):
+            results[i] = client.classify(stream[i].x)
+
+    stats = RunStats()
+    start = clock()
+    threads = [
+        threading.Thread(target=drive, args=(c,), name=f"loadgen-client-{c}")
+        for c in range(len(clients))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats.seconds = clock() - start
+    for result in results:
+        stats.labels.append(result.labels)
+        stats.statuses.append(result.status)
+        if result.ok:
+            stats.latencies_s.append(result.latency_s)
     return stats
 
 

@@ -95,12 +95,16 @@ class ServeResult:
     ``status`` is ``"ok"`` (full DCN), ``"degraded"`` (admitted under
     overload and served detector-only — model labels, no corrector), or
     ``"shed"`` (rejected by admission control; ``labels`` is ``None``).
+    ``reason`` names what decided a shed when the decider knows it —
+    ``"deadline"``, ``"breaker"``, ``"overload"``, ``"unavailable"`` —
+    so remote callers can distinguish budget exhaustion from overload.
     """
 
     status: str
     labels: np.ndarray | None = None
     flagged: np.ndarray | None = None
     latency_s: float = float("nan")
+    reason: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -352,6 +356,18 @@ class DCNService:
                 "sketch": self.latencies.sketch.state(),
                 "cost": self.cost_model.state(),
             }
+
+    def estimated_wait_s(self, rows: int = 0) -> float | None:
+        """Estimated queued wait a request of ``rows`` rows would see now.
+
+        The transport server uses this for deadline-aware admission: a
+        request whose remaining budget is below the estimate sheds before
+        any dispatch work happens.  ``None`` while the cost model is cold
+        (no dispatch observed yet) — admit on no evidence, like SLO
+        admission does.
+        """
+        with self._cond:
+            return self.cost_model.estimate_wait(self._queued_rows + max(0, rows))
 
     # -- internals -------------------------------------------------------------
 

@@ -23,6 +23,7 @@ service leaves a replayable record of its tail behaviour over time;
 from __future__ import annotations
 
 import math
+import os
 import threading
 import time
 from collections import deque
@@ -37,6 +38,7 @@ __all__ = [
     "LatencySketch",
     "TelemetryExporter",
     "read_telemetry",
+    "rotated_segment",
 ]
 
 #: Snapshot records in the telemetry journal carry this event name.
@@ -58,6 +60,9 @@ class ServeCounters:
     degraded: int = 0  # requests served detector-only under overload
     slo_shed: int = 0  # sheds decided by the SLO wait estimate (not the backstop)
     slo_degraded: int = 0  # degrades decided by the SLO wait estimate
+    deadline_shed: int = 0  # sheds because the request's deadline was un-meetable
+    respawns: int = 0  # dead serving workers respawned by supervision
+    crash_loops: int = 0  # workers abandoned after exhausting the restart budget
     queue_depth: int = 0  # gauge: requests waiting right now
     queued_rows: int = 0  # gauge: rows across those waiting requests
     max_queue_depth: int = 0  # high-water mark of the queue
@@ -273,19 +278,37 @@ class TelemetryExporter:
     so a long overload run leaves a time series of counters and tail
     percentiles that survives the process dying mid-run.  A final
     snapshot is written on :meth:`stop`.
+
+    ``max_bytes`` bounds the live journal: once an append pushes the file
+    past it, the journal **rotates** logrotate-style — ``path`` becomes
+    ``path.1``, the old ``path.1`` becomes ``path.2``, and so on up to
+    ``keep`` rotated segments (the oldest is dropped) — so a long-running
+    server's telemetry disk footprint is bounded at roughly
+    ``(keep + 1) * max_bytes``.  :func:`read_telemetry` loads across the
+    rotated segments transparently, oldest records first.
     """
 
     def __init__(self, source, path: str | Path, interval_s: float = 1.0,
-                 fsync_every: int = 16):
+                 fsync_every: int = 16, max_bytes: int | None = None,
+                 keep: int = 5):
         if interval_s <= 0:
             raise ValueError("interval_s must be > 0")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         from ..runner.ledger import Ledger  # stdlib-only module; no cycle
 
         self.source = source
         self.path = Path(path)
         self.interval_s = interval_s
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self.rotations = 0
+        self._fsync_every = fsync_every
         self._ledger = Ledger(self.path, fsync_every=fsync_every)
         self._seq = 0
+        self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -298,9 +321,34 @@ class TelemetryExporter:
             "final": bool(final),
             **self.source.telemetry_snapshot(),
         }
-        self._seq += 1
-        self._ledger.event(**record)
+        with self._lock:
+            self._seq += 1
+            self._ledger.event(**record)
+            self._maybe_rotate_locked()
         return record
+
+    def _maybe_rotate_locked(self) -> None:
+        if self.max_bytes is None:
+            return
+        try:
+            size = self.path.stat().st_size
+        except OSError:  # pragma: no cover - journal vanished underneath us
+            return
+        if size < self.max_bytes:
+            return
+        from ..runner.ledger import Ledger
+
+        self._ledger.flush()
+        self._ledger.close()
+        oldest = rotated_segment(self.path, self.keep)
+        oldest.unlink(missing_ok=True)
+        for index in range(self.keep - 1, 0, -1):
+            segment = rotated_segment(self.path, index)
+            if segment.exists():
+                os.replace(segment, rotated_segment(self.path, index + 1))
+        os.replace(self.path, rotated_segment(self.path, 1))
+        self._ledger = Ledger(self.path, fsync_every=self._fsync_every)
+        self.rotations += 1
 
     def start(self) -> "TelemetryExporter":
         if self._thread is not None:
@@ -322,8 +370,9 @@ class TelemetryExporter:
             self._thread.join()
             self._thread = None
         self.snapshot_now(final=True)
-        self._ledger.flush()
-        self._ledger.close()
+        with self._lock:
+            self._ledger.flush()
+            self._ledger.close()
 
     def __enter__(self) -> "TelemetryExporter":
         return self.start()
@@ -332,13 +381,35 @@ class TelemetryExporter:
         self.stop()
 
 
-def read_telemetry(path: str | Path) -> list[dict]:
-    """Replay a telemetry journal: the snapshot records, in file order.
+def rotated_segment(path: str | Path, index: int) -> Path:
+    """Path of rotated segment ``index`` (1 = most recently rotated)."""
+    path = Path(path)
+    return path.with_name(f"{path.name}.{index}")
 
-    Tolerates a torn trailing line (crash mid-append) exactly like the
-    runner's ledger replay — everything before it is returned.
+
+def read_telemetry(path: str | Path) -> list[dict]:
+    """Replay a telemetry journal: the snapshot records, oldest first.
+
+    Loads across rotated segments (``path.N`` … ``path.1``, then the live
+    file) so a size-rotated journal replays as one time series.  Tolerates
+    a torn trailing line (crash mid-append) exactly like the runner's
+    ledger replay — everything before it is returned.
     """
     from ..runner.ledger import Ledger
 
-    state = Ledger(path).replay()
-    return [rec for rec in state.events if rec.get("event") == TELEMETRY_EVENT]
+    path = Path(path)
+    segments: list[Path] = []
+    index = 1
+    while rotated_segment(path, index).exists():
+        segments.append(rotated_segment(path, index))
+        index += 1
+    segments.reverse()  # highest index = oldest
+    if path.exists():
+        segments.append(path)
+    records: list[dict] = []
+    for segment in segments:
+        state = Ledger(segment).replay()
+        records.extend(
+            rec for rec in state.events if rec.get("event") == TELEMETRY_EVENT
+        )
+    return records

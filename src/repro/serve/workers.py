@@ -23,12 +23,29 @@ Lease-based liveness
     immediately instead of hanging, and later requests route around the
     corpse.  SIGKILL is additionally caught fast through pipe EOF.
 
+Bounded respawn supervision
+    With ``max_restarts > 0`` the monitor **respawns** a dead worker: a
+    fresh fork rejoins the shard ring under a new lease *generation*
+    (``serve-worker-<id>.g<n>`` — the corpse's still-ticking lease can
+    never shadow its replacement), and because labels are a pure function
+    of the row, a respawned worker serves bitwise-identically to the one
+    it replaced.  The budget is a sliding **restart window**: more than
+    ``max_restarts`` respawns of one slot within ``restart_window_s``
+    seconds is a crash loop — supervision gives up on the slot, journals
+    a ``serve-worker-crash-loop`` event, and the ring absorbs the shard
+    permanently.  ``respawns``/``crash_loops`` counters flow into the
+    fleet snapshot and the telemetry journal.
+
 Merged telemetry
     Workers ship :class:`~repro.serve.telemetry.ServeCounters` snapshots
     and mergeable :class:`~repro.serve.telemetry.LatencySketch` states on
     demand; :meth:`ServePool.fleet_snapshot` sums counters and merges
     sketches into fleet-wide p50/p95 without ever shipping raw latency
-    windows.  The pool exposes ``telemetry_snapshot()`` so a
+    windows.  The poll is **bounded**: a worker that dies mid-request can
+    delay the snapshot by at most the stats timeout, after which the
+    partial snapshot lists the non-responders in ``stale_workers``
+    (their last-known counters still included).  The pool exposes
+    ``telemetry_snapshot()`` so a
     :class:`~repro.serve.telemetry.TelemetryExporter` can journal the
     fleet time series exactly like a single service's.
 
@@ -53,9 +70,15 @@ from .telemetry import LatencySketch, ServeCounters
 __all__ = ["ServePool", "worker_lease_key"]
 
 
-def worker_lease_key(worker_id: int) -> str:
-    """Ledger lease key under which serving worker ``worker_id`` heartbeats."""
-    return f"serve-worker-{worker_id}"
+def worker_lease_key(worker_id: int, generation: int = 0) -> str:
+    """Ledger lease key of serving worker ``worker_id``'s ``generation``.
+
+    Generation 0 keeps the historical ``serve-worker-<id>`` format; a
+    respawned worker heartbeats ``serve-worker-<id>.g<generation>`` so
+    its dead predecessor's unexpired lease cannot get it declared wedged.
+    """
+    base = f"serve-worker-{worker_id}"
+    return base if generation == 0 else f"{base}.g{generation}"
 
 
 class ServePool:
@@ -75,6 +98,14 @@ class ServePool:
         its in-flight requests shed.
     heartbeat_interval:
         Seconds between worker heartbeats (default ``lease_ttl / 4``).
+    max_restarts:
+        Respawn budget per worker slot within ``restart_window_s``.
+        ``0`` (default) disables supervision: a dead worker stays dead
+        and the ring absorbs its shard, exactly the PR 9 behaviour.
+    restart_window_s:
+        Sliding window of the restart budget; a slot needing more than
+        ``max_restarts`` respawns inside it is a crash loop and is
+        abandoned with a structured ledger event.
     dispatch_hook:
         Test seam: ``hook(worker_id, n_requests)`` runs in the worker
         before each dispatch — the chaos tests stall a worker with it.
@@ -92,6 +123,8 @@ class ServePool:
         ledger_path: str | Path | None = None,
         lease_ttl: float = 5.0,
         heartbeat_interval: float | None = None,
+        max_restarts: int = 0,
+        restart_window_s: float = 30.0,
         dispatch_hook=None,
         **service_kwargs,
     ):
@@ -99,6 +132,10 @@ class ServePool:
             raise ValueError("workers must be >= 1")
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be > 0")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if restart_window_s <= 0:
+            raise ValueError("restart_window_s must be > 0")
         from ..runner.pool import fork_available
 
         if not fork_available():  # pragma: no cover - non-POSIX
@@ -109,6 +146,8 @@ class ServePool:
         self.heartbeat_interval = (
             heartbeat_interval if heartbeat_interval is not None else lease_ttl / 4.0
         )
+        self.max_restarts = max_restarts
+        self.restart_window_s = restart_window_s
         self.dispatch_hook = dispatch_hook
         self.service_kwargs = dict(service_kwargs)
         self.max_batch = int(self.service_kwargs.get("max_batch", 64))
@@ -119,20 +158,26 @@ class ServePool:
         self.ledger_path = Path(ledger_path)
         self.front_shed = 0  # sheds decided by the front end (dead workers)
         self.worker_deaths = 0
+        self.respawns = 0  # workers brought back by supervision
+        self.crash_loops = 0  # slots abandoned after exhausting the budget
         self._lock = threading.Lock()
         self._running = False
         self._seq = 0
         self._next_id = 0
         self._stats_seq = 0
-        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._procs: list[multiprocessing.process.BaseProcess | None] = []
         self._conns: list = []
         self._send_locks: list[threading.Lock] = []
+        self._generations = [0] * workers
+        self._restart_times: list[list[float]] = [[] for _ in range(workers)]
+        self._crash_looped: set[int] = set()
         self._dead: set[int] = set()
         self._inflight: list[dict[int, ServeTicket]] = []
         self._stats_waits: dict[int, dict] = {}
         self._last_snapshots: dict[int, dict] = {}
         self._threads: list[threading.Thread] = []
         self._monitor_stop = threading.Event()
+        self._event_ledger: Ledger | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -141,50 +186,62 @@ class ServePool:
             if self._running:
                 raise RuntimeError("pool already started")
             self._running = True
-        ctx = multiprocessing.get_context("fork")
-        pipes = [ctx.Pipe(duplex=True) for _ in range(self.workers)]
-        for worker_id, (parent_conn, child_conn) in enumerate(pipes):
-            # The child inherits every pipe end; it must close all but its
-            # own so a SIGKILLed sibling's pipe actually reaches EOF.
-            inherited = [
-                conn
-                for other_id, (p, c) in enumerate(pipes)
-                for conn in ((p, c) if other_id != worker_id else (p,))
-            ]
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    worker_id,
-                    child_conn,
-                    inherited,
-                    self.dcn,
-                    self.service_kwargs,
-                    str(self.ledger_path),
-                    self.lease_ttl,
-                    self.heartbeat_interval,
-                    self.dispatch_hook,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
-            self._send_locks.append(threading.Lock())
-            self._inflight.append({})
-            child_conn.close()
-        for worker_id, conn in enumerate(self._conns):
-            thread = threading.Thread(
-                target=self._receive_loop, args=(worker_id, conn),
-                name=f"serve-pool-recv-{worker_id}", daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
+        self._event_ledger = Ledger(self.ledger_path, fsync=False)
+        self._procs = [None] * self.workers
+        self._conns = [None] * self.workers
+        self._send_locks = [threading.Lock() for _ in range(self.workers)]
+        self._inflight = [{} for _ in range(self.workers)]
+        for worker_id in range(self.workers):
+            self._spawn_worker(worker_id, generation=0)
         monitor = threading.Thread(
             target=self._monitor_loop, name="serve-pool-monitor", daemon=True
         )
         monitor.start()
         self._threads.append(monitor)
         return self
+
+    def _spawn_worker(self, worker_id: int, generation: int) -> None:
+        """Fork one worker (initial start and supervision respawns alike).
+
+        Workers are forked sequentially, so a new child inherits exactly
+        the parent ends currently held by the front end — it closes all
+        of them (its own included) so a SIGKILLed sibling's pipe still
+        reaches EOF in the parent.
+        """
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        inherited = [conn for conn in self._conns if conn is not None] + [parent_conn]
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                generation,
+                child_conn,
+                inherited,
+                self.dcn,
+                self.service_kwargs,
+                str(self.ledger_path),
+                self.lease_ttl,
+                self.heartbeat_interval,
+                self.dispatch_hook,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        with self._lock:
+            self._procs[worker_id] = proc
+            self._conns[worker_id] = parent_conn
+            self._send_locks[worker_id] = threading.Lock()
+            self._inflight[worker_id] = {}
+            self._generations[worker_id] = generation
+            self._dead.discard(worker_id)
+        thread = threading.Thread(
+            target=self._receive_loop, args=(worker_id, generation, parent_conn),
+            name=f"serve-pool-recv-{worker_id}.g{generation}", daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
 
     def stop(self) -> None:
         """Final fleet snapshot, clean worker shutdown, join everything."""
@@ -200,17 +257,24 @@ class ServePool:
         # Bypass _send's dead-worker check: a worker marked dead for a
         # lease lapse may still be alive and must still see the stop.
         for worker_id in range(self.workers):
+            conn = self._conns[worker_id]
+            if conn is None:
+                continue
             try:
                 with self._send_locks[worker_id]:
-                    self._conns[worker_id].send(("stop",))
+                    conn.send(("stop",))
             except (OSError, ValueError, BrokenPipeError):
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=10.0)
             if proc.is_alive():  # pragma: no cover - wedged worker backstop
                 proc.terminate()
                 proc.join(timeout=5.0)
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.close()
             except OSError:  # pragma: no cover
@@ -221,6 +285,9 @@ class ServePool:
         # sheds rather than hangs.
         for worker_id in range(self.workers):
             self._mark_dead(worker_id, shutdown=True)
+        if self._event_ledger is not None:
+            self._event_ledger.close()
+            self._event_ledger = None
 
     def __enter__(self) -> "ServePool":
         return self.start()
@@ -236,6 +303,10 @@ class ServePool:
     def live_workers(self) -> list[int]:
         with self._lock:
             return [w for w in range(self.workers) if w not in self._dead]
+
+    def estimated_wait_s(self, rows: int = 0) -> float | None:
+        """The sharded front end keeps no cost model; admit on no evidence."""
+        return None
 
     # -- submission ------------------------------------------------------------
 
@@ -259,7 +330,7 @@ class ServePool:
                     break
             if worker_id is None:
                 self.front_shed += 1
-                return ServeTicket(ServeResult(status="shed"))
+                return ServeTicket(ServeResult(status="shed", reason="unavailable"))
             request_id = self._next_id
             self._next_id += 1
             ticket = ServeTicket()
@@ -279,11 +350,17 @@ class ServePool:
         """Merged counters + fleet-wide latency percentiles, one dict.
 
         Live workers are polled for fresh snapshots; dead workers
-        contribute their last one (work since then died with them).
-        Front-end sheds — requests lost to dead workers — are folded into
-        the merged ``shed`` count.
+        contribute their last one (work since then died with them).  The
+        poll is bounded: workers that fail to answer within ``timeout``
+        (default ``_STATS_TIMEOUT``) are listed in
+        ``workers.stale_workers`` and their *last-known* snapshot is
+        merged instead — a worker dying mid-request can delay a snapshot,
+        never hang it.  Front-end sheds — requests lost to dead workers —
+        are folded into the merged ``shed`` count, and supervision's
+        ``respawns``/``crash_loops`` ride the merged counters.
         """
         timeout = self._STATS_TIMEOUT if timeout is None else timeout
+        stale: list[int] = []
         with self._lock:
             running = self._running
             live = [w for w in range(self.workers) if w not in self._dead]
@@ -302,14 +379,20 @@ class ServePool:
             slot["event"].wait(timeout)
             with self._lock:
                 self._stats_waits.pop(seq, None)
+                stale = sorted(w for w in live if w not in slot["got"])
         with self._lock:
             snapshots = dict(self._last_snapshots)
             front_shed = self.front_shed
             dead = sorted(self._dead)
+            respawns = self.respawns
+            crash_loops = self.crash_loops
+            generations = list(self._generations)
         counters = ServeCounters.merged(
             [snap["counters"] for snap in snapshots.values()]
         )
         counters.shed += front_shed
+        counters.respawns += respawns
+        counters.crash_loops += crash_loops
         sketch = LatencySketch()
         for snap in snapshots.values():
             sketch.merge_state(snap["sketch"])
@@ -321,7 +404,11 @@ class ServePool:
                 "total": self.workers,
                 "dead": dead,
                 "reporting": sorted(snapshots),
+                "stale_workers": stale,
                 "front_shed": front_shed,
+                "respawns": respawns,
+                "crash_loops": crash_loops,
+                "generations": generations,
             },
         }
 
@@ -346,17 +433,31 @@ class ServePool:
             if worker_id in self._dead:
                 return False
             conn = self._conns[worker_id]
+            send_lock = self._send_locks[worker_id]
+            generation = self._generations[worker_id]
+        if conn is None:
+            return False
         try:
-            with self._send_locks[worker_id]:
+            with send_lock:
                 conn.send(message)
             return True
         except (OSError, ValueError, BrokenPipeError):
-            self._mark_dead(worker_id)
+            self._mark_dead(worker_id, generation=generation)
             return False
 
-    def _mark_dead(self, worker_id: int, shutdown: bool = False) -> None:
-        """Dead/wedged worker: shed its in-flight requests, stop routing."""
+    def _mark_dead(
+        self, worker_id: int, generation: int | None = None, shutdown: bool = False
+    ) -> None:
+        """Dead/wedged worker: shed its in-flight requests, stop routing.
+
+        ``generation`` guards against a previous incarnation's receive
+        thread (or a stale monitor pass) declaring its *replacement* dead:
+        a death report for generation ``g`` is ignored once the slot has
+        respawned past ``g``.
+        """
         with self._lock:
+            if generation is not None and generation != self._generations[worker_id]:
+                return
             already = worker_id in self._dead
             if not already:
                 self._dead.add(worker_id)
@@ -372,7 +473,7 @@ class ServePool:
         for ticket in orphans:
             ticket._resolve(ServeResult(status="shed"))
 
-    def _receive_loop(self, worker_id: int, conn) -> None:
+    def _receive_loop(self, worker_id: int, generation: int, conn) -> None:
         while True:
             try:
                 message = conn.recv()
@@ -401,33 +502,89 @@ class ServePool:
                             slot["event"].set()
         with self._lock:
             shutting_down = not self._running
-        self._mark_dead(worker_id, shutdown=shutting_down)
+        self._mark_dead(worker_id, generation=generation, shutdown=shutting_down)
 
     def _monitor_loop(self) -> None:
-        """Lease-expiry watchdog: the wedged-worker detector.
+        """Liveness watchdog and respawn supervisor.
 
         Process death is caught fast by pipe EOF; this thread catches the
         uglier case — a worker that is alive but stopped heartbeating
-        (stuck in a dispatch, paged out, livelocked).  Its lease expiring
-        in the shared ledger is the signal, exactly as in the runner's
-        worker pool.
+        (stuck in a dispatch, paged out, livelocked) — via its lease
+        expiring in the shared ledger, exactly as in the runner's worker
+        pool.  With ``max_restarts > 0`` it is also the supervisor: each
+        tick it respawns dead slots that still have restart budget.
         """
         reader = Ledger(self.ledger_path)
         interval = max(0.05, min(self.lease_ttl / 4.0, 0.5))
         while not self._monitor_stop.wait(interval):
             with self._lock:
                 live = [w for w in range(self.workers) if w not in self._dead]
-            if not live:
-                continue
-            state = reader.replay()
-            now = time.time()
-            for worker_id in live:
-                if not self._procs[worker_id].is_alive():
-                    self._mark_dead(worker_id)
+            if live:
+                state = reader.replay()
+                now = time.time()
+                for worker_id in live:
+                    with self._lock:
+                        proc = self._procs[worker_id]
+                        generation = self._generations[worker_id]
+                    if proc is None or not proc.is_alive():
+                        self._mark_dead(worker_id, generation=generation)
+                        continue
+                    lease = state.leases.get(worker_lease_key(worker_id, generation))
+                    if lease is not None and now > lease["deadline"]:
+                        self._mark_dead(worker_id, generation=generation)
+            if self.max_restarts > 0:
+                self._respawn_dead_workers()
+
+    def _respawn_dead_workers(self) -> None:
+        """One supervision pass: respawn dead slots within budget."""
+        with self._lock:
+            if not self._running:
+                return
+            candidates = sorted(self._dead - self._crash_looped)
+        for worker_id in candidates:
+            now = time.monotonic()
+            with self._lock:
+                if not self._running or worker_id not in self._dead:
                     continue
-                lease = state.leases.get(worker_lease_key(worker_id))
-                if lease is not None and now > lease["deadline"]:
-                    self._mark_dead(worker_id)
+                window = [
+                    t for t in self._restart_times[worker_id]
+                    if now - t < self.restart_window_s
+                ]
+                self._restart_times[worker_id] = window
+                if len(window) >= self.max_restarts:
+                    # Crash loop: the slot keeps dying faster than the
+                    # budget allows.  Give up with a structured record
+                    # rather than fork forever.
+                    self._crash_looped.add(worker_id)
+                    self.crash_loops += 1
+                    generation = self._generations[worker_id]
+                    ledger = self._event_ledger
+                    if ledger is not None:
+                        ledger.event(
+                            "serve-worker-crash-loop", worker=worker_id,
+                            generation=generation,
+                            restarts=len(window),
+                            window_s=self.restart_window_s,
+                        )
+                    continue
+                self._restart_times[worker_id].append(now)
+                # Counted before the slot goes live so observers never see
+                # a respawned worker with a stale counter.
+                self.respawns += 1
+                generation = self._generations[worker_id] + 1
+                old_conn = self._conns[worker_id]
+                self._conns[worker_id] = None
+                ledger = self._event_ledger
+            if old_conn is not None:
+                try:
+                    old_conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._spawn_worker(worker_id, generation=generation)
+            if ledger is not None:
+                ledger.event(
+                    "serve-worker-respawn", worker=worker_id, generation=generation
+                )
 
 
 # ---------------------------------------------------------------------------
@@ -437,6 +594,7 @@ class ServePool:
 
 def _worker_main(
     worker_id: int,
+    generation: int,
     conn,
     inherited_conns,
     dcn,
@@ -452,7 +610,7 @@ def _worker_main(
     service = DCNService(dcn, **service_kwargs)
     ledger = Ledger(ledger_path, fsync=False)
     lease_id = new_lease_id()
-    key = worker_lease_key(worker_id)
+    key = worker_lease_key(worker_id, generation)
     now = time.time()
     ledger.lease("claim", key, lease_id, worker_id, now, now + lease_ttl)
 

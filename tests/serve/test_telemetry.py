@@ -162,3 +162,74 @@ class TestTelemetryExporter:
         service = DCNService(tiny_dcn)
         with pytest.raises(ValueError):
             TelemetryExporter(service, tmp_path / "t.jsonl", interval_s=0.0)
+
+
+class _CountingSource:
+    """Minimal telemetry source: numbered snapshots of a fixed size."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def telemetry_snapshot(self):
+        self.calls += 1
+        return {"counters": {"requests": self.calls}, "pad": "x" * 64}
+
+
+class TestJournalRotation:
+    def test_rotates_at_max_bytes_and_reads_across_segments(self, tmp_path):
+        from repro.serve import rotated_segment
+
+        journal = tmp_path / "telemetry.jsonl"
+        exporter = TelemetryExporter(
+            _CountingSource(), journal, interval_s=60.0, fsync_every=1,
+            max_bytes=400, keep=3,
+        )
+        for _ in range(20):
+            exporter.snapshot_now()
+        exporter.stop()
+        assert exporter.rotations > 0
+        assert rotated_segment(journal, 1).exists()
+        records = read_telemetry(journal)
+        # Oldest-first across segments: seq strictly increasing and
+        # contiguous, ending at the final record.
+        seqs = [rec["seq"] for rec in records]
+        assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+        assert records[-1]["final"] is True
+        assert records[-1]["seq"] == 20
+
+    def test_keep_bounds_the_segment_count(self, tmp_path):
+        from repro.serve import rotated_segment
+
+        journal = tmp_path / "telemetry.jsonl"
+        exporter = TelemetryExporter(
+            _CountingSource(), journal, interval_s=60.0, fsync_every=1,
+            max_bytes=150, keep=2,
+        )
+        for _ in range(30):
+            exporter.snapshot_now()
+        exporter.stop()
+        assert exporter.rotations > 3  # rotated more times than we keep
+        assert rotated_segment(journal, 1).exists()
+        assert rotated_segment(journal, 2).exists()
+        assert not rotated_segment(journal, 3).exists()
+        # Replay still works; the dropped history is simply absent.
+        records = read_telemetry(journal)
+        assert records[-1]["seq"] == 30
+        assert len(records) < 31
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        journal = tmp_path / "telemetry.jsonl"
+        exporter = TelemetryExporter(
+            _CountingSource(), journal, interval_s=60.0, fsync_every=1,
+        )
+        for _ in range(10):
+            exporter.snapshot_now()
+        exporter.stop()
+        assert exporter.rotations == 0
+        assert len(read_telemetry(journal)) == 11
+
+    def test_validates_rotation_params(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            TelemetryExporter(_CountingSource(), tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(ValueError, match="keep"):
+            TelemetryExporter(_CountingSource(), tmp_path / "t.jsonl", keep=0)

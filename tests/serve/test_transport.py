@@ -1,0 +1,399 @@
+"""Framed transport + remote serving: protocol safety and the chaos matrix.
+
+The acceptance bar is the client's one promise: **every call resolves** —
+labels, a shed/degraded result, or a structured error — never a hang —
+under every deterministic transport fault the chaos harness can fire.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DCN, Corrector
+from repro.runner.faultinject import Fault, FaultPlan, TransportChaos
+from repro.serve import (
+    DCNClient,
+    DCNServer,
+    DCNService,
+    RemoteProtocolError,
+    StreamSpec,
+    build_stream,
+    run_offline,
+    run_remote,
+)
+from repro.serve.transport import (
+    KIND_ERROR,
+    KIND_PING,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    _HEADER,
+    FrameError,
+    decode_arrays,
+    decode_body,
+    encode_array,
+    encode_body,
+    read_frame,
+    write_frame,
+)
+
+
+class _RuleDetector:
+    def __init__(self, network, rule):
+        self.network = network
+        self._rule = rule
+
+    def is_adversarial(self, logits):
+        return self._rule(np.asarray(logits))
+
+
+@pytest.fixture()
+def tiny_dcn(tiny_correct):
+    network, _, _ = tiny_correct
+    detector = _RuleDetector(network, lambda lg: lg.argmax(axis=-1) % 2 == 0)
+    return DCN(network, detector, Corrector(network, radius=0.1, samples=20, seed=0))
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFrameCodec:
+    def test_roundtrip_meta_and_arrays(self):
+        a, b = _pair()
+        body = encode_array(x=np.arange(6, dtype=np.float32).reshape(2, 3), skip=None)
+        write_frame(a, KIND_REQUEST, {"id": 7, "deadline_s": 0.5}, body)
+        kind, meta, got = read_frame(b)
+        assert kind == KIND_REQUEST
+        assert meta == {"id": 7, "deadline_s": 0.5}
+        arrays = decode_arrays(got)
+        assert list(arrays) == ["x"]  # None-valued arrays are skipped
+        np.testing.assert_array_equal(
+            arrays["x"], np.arange(6, dtype=np.float32).reshape(2, 3)
+        )
+        a.close()
+        b.close()
+
+    def test_npy_segment_roundtrip(self):
+        # The hot-path codec: bare .npy segments, table in the metadata.
+        meta = {"id": 3}
+        x = np.arange(6, dtype=np.float32).reshape(2, 3)
+        flagged = np.array([True, False])
+        body = encode_body(meta, labels=x, flagged=flagged, skip=None)
+        assert [name for name, _ in meta["npy"]] == ["labels", "flagged"]
+        arrays = decode_body(meta, body)
+        np.testing.assert_array_equal(arrays["labels"], x)
+        np.testing.assert_array_equal(arrays["flagged"], flagged)
+
+    def test_decode_body_falls_back_to_npz(self):
+        # A peer that sends .npz without a segment table still decodes.
+        body = encode_array(x=np.ones(3, dtype=np.float64))
+        arrays = decode_body({"id": 1}, body)
+        np.testing.assert_array_equal(arrays["x"], np.ones(3))
+
+    @pytest.mark.parametrize(
+        "table",
+        [
+            [["x", 10_000]],  # length past the end of the body
+            [["x", -1]],  # negative length
+            [[7, 4]],  # non-string name
+            ["not-a-pair"],  # malformed entry
+        ],
+    )
+    def test_malformed_segment_table_is_bad_payload(self, table):
+        body = encode_body({}, x=np.ones(2, dtype=np.float32))
+        with pytest.raises(FrameError) as err:
+            decode_body({"npy": table}, body)
+        assert err.value.code == "bad-payload"
+
+    def test_garbage_npy_segment_is_bad_payload(self):
+        with pytest.raises(FrameError) as err:
+            decode_body({"npy": [["x", 9]]}, b"not-a-npy")
+        assert err.value.code == "bad-payload"
+
+    def test_clean_eof_is_none(self):
+        a, b = _pair()
+        a.close()
+        assert read_frame(b) is None
+        b.close()
+
+    @pytest.mark.parametrize(
+        "header, code",
+        [
+            (_HEADER.pack(b"EVIL", PROTOCOL_VERSION, KIND_REQUEST, 0, 0), "bad-magic"),
+            (_HEADER.pack(PROTOCOL_MAGIC, 99, KIND_REQUEST, 0, 0), "bad-version"),
+            (_HEADER.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, 200, 0, 0), "bad-kind"),
+            (
+                _HEADER.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, KIND_REQUEST, 10, 2**40),
+                "oversized",
+            ),
+        ],
+    )
+    def test_bad_headers_are_structured_errors(self, header, code):
+        a, b = _pair()
+        a.sendall(header)
+        with pytest.raises(FrameError) as excinfo:
+            read_frame(b)
+        assert excinfo.value.code == code
+        a.close()
+        b.close()
+
+    def test_torn_frame_mid_body(self):
+        a, b = _pair()
+        meta = b'{"id":1}'
+        a.sendall(
+            _HEADER.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, KIND_REQUEST, len(meta), 64)
+            + meta
+            + b"\x00" * 10  # 10 of the promised 64 body bytes
+        )
+        a.close()
+        with pytest.raises(FrameError) as excinfo:
+            read_frame(b)
+        assert excinfo.value.code == "torn"
+        b.close()
+
+    def test_undecodable_metadata(self):
+        a, b = _pair()
+        meta = b"not json"
+        a.sendall(
+            _HEADER.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, KIND_REQUEST, len(meta), 0)
+            + meta
+        )
+        with pytest.raises(FrameError) as excinfo:
+            read_frame(b)
+        assert excinfo.value.code == "bad-payload"
+        a.close()
+        b.close()
+
+    def test_stalled_peer_times_out(self):
+        a, b = _pair()
+        with pytest.raises(FrameError) as excinfo:
+            read_frame(b, deadline=time.monotonic() + 0.2)
+        assert excinfo.value.code == "timeout"
+        a.close()
+        b.close()
+
+
+class TestServerClient:
+    def test_remote_labels_bitwise_identical_to_offline(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service) as server:
+                with DCNClient(server.address) as client:
+                    assert client.ping()
+                    for i in range(4):
+                        result = client.classify(x[i : i + 2])
+                        assert result.status == "ok"
+                        np.testing.assert_array_equal(
+                            result.labels, tiny_dcn.classify(x[i : i + 2])
+                        )
+                        assert result.flagged is not None
+                        assert np.isfinite(result.latency_s)
+                    assert client.counters.ok == 4
+                    assert client.counters.retries == 0
+                snapshot = server.telemetry_snapshot()
+        assert snapshot["counters"]["requests"] == 4
+        assert snapshot["transport"]["requests"] == 4
+        assert snapshot["transport"]["connections_total"] == 1
+
+    def test_run_remote_replays_stream_offline_identical(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        stream = build_stream(x, None, StreamSpec(requests=12, max_size=3, seed=5))
+        offline = run_offline(tiny_dcn, stream)
+        with DCNService(tiny_dcn, max_batch=16) as service:
+            with DCNServer(service) as server:
+                clients = [DCNClient(server.address, backoff_seed=c) for c in range(3)]
+                try:
+                    remote = run_remote(clients, stream)
+                finally:
+                    for client in clients:
+                        client.close()
+        assert remote.statuses == ["ok"] * len(stream)
+        for got, want in zip(remote.labels, offline.labels):
+            np.testing.assert_array_equal(got, want)
+        assert len(remote.latencies_s) == len(stream)
+
+    def test_oversized_request_rejected_structurally(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service, max_frame_bytes=512) as server:
+                sock = socket.create_connection(server.address, timeout=5.0)
+                sock.settimeout(5.0)
+                write_frame(
+                    sock, KIND_REQUEST, {"id": 0}, encode_array(x=x[:8])
+                )
+                kind, meta, _ = read_frame(sock)
+                assert kind == KIND_ERROR
+                assert meta["code"] == "oversized"
+                sock.close()
+                assert server.frame_errors == 1
+
+    def test_bad_body_is_protocol_error_not_retry(self, tiny_correct, tiny_dcn):
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service) as server:
+                sock = socket.create_connection(server.address, timeout=5.0)
+                sock.settimeout(5.0)
+                write_frame(sock, KIND_REQUEST, {"id": 0}, b"not an npz body")
+                kind, meta, _ = read_frame(sock)
+                assert kind == KIND_ERROR
+                assert meta["code"] == "bad-payload"
+                sock.close()
+
+    def test_ping_pong(self, tiny_correct, tiny_dcn):
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service) as server:
+                sock = socket.create_connection(server.address, timeout=5.0)
+                sock.settimeout(5.0)
+                write_frame(sock, KIND_PING, {"id": 42})
+                kind, meta, _ = read_frame(sock)
+                from repro.serve.transport import KIND_PONG
+
+                assert kind == KIND_PONG
+                assert meta["id"] == 42
+                sock.close()
+
+
+class TestDeadlinePropagation:
+    def test_server_sheds_unmeetable_deadline_both_sides_agree(
+        self, tiny_correct, tiny_dcn
+    ):
+        _, x, _ = tiny_correct
+        # The dispatcher holds partial batches open for 1.2s, so a 0.3s
+        # budget is un-meetable: the server's bounded ticket wait fires
+        # and both ends record the same deadline shed.
+        with DCNService(tiny_dcn, max_batch=8, max_delay=1.2) as service:
+            with DCNServer(service) as server:
+                with DCNClient(server.address, deadline_s=0.3, retries=2) as client:
+                    t0 = time.monotonic()
+                    result = client.classify(x[:1])
+                    elapsed = time.monotonic() - t0
+                assert result.status == "shed"
+                assert result.reason == "deadline"
+                assert elapsed < 1.0  # resolved at the deadline, not the dispatch
+                assert client.counters.deadline_shed == 1
+                assert client.counters.retries == 0  # dead budgets don't retry
+                # The server's bounded ticket wait fires within ~1ms of the
+                # client's read timeout; poll past the race.
+                give_up = time.monotonic() + 2.0
+                while server.counters.deadline_shed != 1 and time.monotonic() < give_up:
+                    time.sleep(0.01)
+                assert server.counters.deadline_shed == 1
+
+    def test_spent_budget_sheds_before_any_work(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service) as server:
+                sock = socket.create_connection(server.address, timeout=5.0)
+                sock.settimeout(5.0)
+                # A request whose remaining budget is already <= 0 must be
+                # refused at admission, without touching the backend.
+                write_frame(
+                    sock, KIND_REQUEST, {"id": 1, "deadline_s": -0.5},
+                    encode_array(x=x[:1]),
+                )
+                kind, meta, _ = read_frame(sock)
+                assert kind == KIND_RESPONSE
+                assert meta["status"] == "shed"
+                assert meta["reason"] == "deadline"
+                assert meta["retryable"] is False
+                sock.close()
+                assert server.counters.deadline_shed == 1
+                assert service.counters.requests == 0
+
+
+class TestTransportChaos:
+    def test_conn_drop_retries_then_succeeds(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        chaos = TransportChaos(
+            FaultPlan(faults=(Fault(kind="conn-drop", unit_index=0),))
+        )
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service, chaos=chaos) as server:
+                with DCNClient(server.address, retries=2, backoff_base_s=0.01) as client:
+                    result = client.classify(x[:2])
+        assert result.status == "ok"
+        np.testing.assert_array_equal(result.labels, tiny_dcn.classify(x[:2]))
+        assert client.counters.retries == 1
+        assert client.counters.torn_replies == 1
+        assert [fault.kind for fault in chaos.fired] == ["conn-drop"]
+
+    def test_torn_frame_reply_never_yields_partial_labels(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        chaos = TransportChaos(
+            FaultPlan(faults=(Fault(kind="torn-frame", unit_index=0),))
+        )
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service, chaos=chaos) as server:
+                with DCNClient(server.address, retries=2, backoff_base_s=0.01) as client:
+                    result = client.classify(x[:2])
+        assert result.status == "ok"
+        np.testing.assert_array_equal(result.labels, tiny_dcn.classify(x[:2]))
+        assert client.counters.torn_replies == 1
+        assert client.counters.retries == 1
+
+    def test_sock_stall_resolves_as_deadline_shed(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        chaos = TransportChaos(
+            FaultPlan(faults=(Fault(kind="sock-stall", unit_index=0),)),
+            stall_s=1.5,
+        )
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service, chaos=chaos) as server:
+                with DCNClient(server.address, deadline_s=0.4, retries=2) as client:
+                    t0 = time.monotonic()
+                    result = client.classify(x[:1])
+                    elapsed = time.monotonic() - t0
+        assert result.status == "shed"
+        assert result.reason == "deadline"
+        assert elapsed < 1.2  # the stall did not hang the caller
+        assert client.counters.deadline_shed == 1
+
+    def test_retries_exhausted_resolves_shed_never_hangs(self, tiny_correct, tiny_dcn):
+        _, x, _ = tiny_correct
+        # Every reply dropped: the client must burn its bounded retries
+        # and resolve shed — the no-hang guarantee under a dead endpoint.
+        chaos = TransportChaos(
+            FaultPlan(
+                faults=tuple(Fault(kind="conn-drop", unit_index=i) for i in range(8))
+            )
+        )
+        with DCNService(tiny_dcn, max_batch=8) as service:
+            with DCNServer(service, chaos=chaos) as server:
+                with DCNClient(
+                    server.address, retries=2, backoff_base_s=0.01,
+                    breaker_threshold=10,
+                ) as client:
+                    result = client.classify(x[:1])
+        assert result.status == "shed"
+        assert result.reason == "torn"
+        assert client.counters.retries == 2
+        assert client.counters.torn_replies == 3
+
+    def test_reply_fault_matches_ordinal_only(self):
+        chaos = TransportChaos(
+            FaultPlan(faults=(Fault(kind="conn-drop", unit_index=3),))
+        )
+        assert chaos.reply_fault(0) is None
+        fault = chaos.reply_fault(3)
+        assert fault is not None and fault.kind == "conn-drop"
+
+    def test_plan_generate_accepts_transport_kinds(self):
+        plan = FaultPlan.generate(
+            seed=7, num_units=10, kinds=("conn-drop", "torn-frame"), count=4
+        )
+        assert len(plan.faults) == 4
+        assert all(f.kind in ("conn-drop", "torn-frame") for f in plan.faults)
+        assert plan == FaultPlan.generate(
+            seed=7, num_units=10, kinds=("conn-drop", "torn-frame"), count=4
+        )
+
+    def test_unknown_kind_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.generate(seed=0, num_units=4, kinds=("sock-melt",))

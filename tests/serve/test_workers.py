@@ -194,3 +194,163 @@ class TestWorkerDeath:
             assert time.perf_counter() - t0 < 0.1
             assert pool.front_shed >= 2
             release.set()
+
+
+class TestSupervision:
+    """Bounded worker respawn: SIGKILL -> respawn -> identical labels;
+    crash loops exhaust the restart budget and give up with a record."""
+
+    def test_sigkill_respawn_rejoins_ring_with_identical_labels(
+        self, tiny_correct, tiny_dcn, tmp_path
+    ):
+        from repro.runner.ledger import Ledger
+
+        _, x, _ = tiny_correct
+        ledger_path = tmp_path / "pool.jsonl"
+        with ServePool(
+            tiny_dcn, workers=2, ledger_path=ledger_path, max_batch=8,
+            max_queue=64, max_restarts=3, restart_window_s=60.0,
+        ) as pool:
+            before = pool.classify(x[:2], timeout=10.0)
+            assert before.status == "ok"
+            pool.processes[0].kill()
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and not (
+                pool.respawns == 1 and pool.live_workers() == [0, 1]
+            ):
+                time.sleep(0.05)
+            assert pool.live_workers() == [0, 1]
+            assert pool.respawns == 1
+            # The replacement serves the dead worker's shard with labels
+            # still bitwise-identical to offline classify.
+            for i in range(4, 10):
+                result = pool.classify(x[i : i + 1], timeout=10.0)
+                assert result.status == "ok"
+                np.testing.assert_array_equal(
+                    result.labels, tiny_dcn.classify(x[i : i + 1])
+                )
+            snapshot = pool.fleet_snapshot()
+            assert snapshot["workers"]["respawns"] == 1
+            assert snapshot["workers"]["crash_loops"] == 0
+            assert snapshot["workers"]["generations"][0] >= 1
+            assert snapshot["counters"]["respawns"] == 1
+        events = [
+            rec for rec in Ledger(ledger_path).replay().events
+            if rec.get("event") == "serve-worker-respawn"
+        ]
+        assert len(events) == 1
+        assert events[0]["worker"] == 0
+
+    def test_respawned_worker_uses_generation_lease_key(
+        self, tiny_correct, tiny_dcn, tmp_path
+    ):
+        from repro.runner.ledger import Ledger
+
+        _, x, _ = tiny_correct
+        ledger_path = tmp_path / "pool.jsonl"
+        with ServePool(
+            tiny_dcn, workers=1, ledger_path=ledger_path, max_batch=8,
+            max_restarts=2, restart_window_s=60.0,
+        ) as pool:
+            pool.processes[0].kill()
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and not (
+                pool.respawns == 1 and pool.live_workers() == [0]
+            ):
+                time.sleep(0.05)
+            assert pool.live_workers() == [0]
+            assert pool.classify(x[:1], timeout=10.0).status == "ok"
+        state = Ledger(ledger_path).replay()
+        # Generation 1 claimed (and cleanly released) its own key; the
+        # corpse's gen-0 lease never shadowed the replacement.
+        assert worker_lease_key(0, generation=1) not in state.leases
+
+    def test_crash_loop_exhausts_budget_and_gives_up(
+        self, tiny_correct, tiny_dcn, tmp_path
+    ):
+        import os as _os
+        import signal as _signal
+
+        from repro.runner.ledger import Ledger
+
+        _, x, _ = tiny_correct
+
+        def die_on_dispatch(worker_id, n_requests):
+            _os.kill(_os.getpid(), _signal.SIGKILL)
+
+        ledger_path = tmp_path / "pool.jsonl"
+        with ServePool(
+            tiny_dcn, workers=1, ledger_path=ledger_path, max_batch=8,
+            max_restarts=1, restart_window_s=60.0,
+            dispatch_hook=die_on_dispatch,
+        ) as pool:
+            # Every dispatch kills the worker: death -> respawn (budget 1)
+            # -> death -> crash loop.  Each doomed ticket still resolves.
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline and pool.crash_loops == 0:
+                result = pool.submit(x[:1]).wait(10.0)
+                assert result.status == "shed"
+                time.sleep(0.05)
+            assert pool.crash_loops == 1
+            assert pool.respawns == 1
+            assert pool.live_workers() == []
+            # The slot is abandoned: callers shed at the front door
+            # instead of waiting on another doomed fork.
+            walkup = pool.submit(x[:1]).wait(1.0)
+            assert walkup.status == "shed"
+            assert walkup.reason == "unavailable"
+            snapshot = pool.fleet_snapshot()
+            assert snapshot["workers"]["crash_loops"] == 1
+            assert snapshot["counters"]["crash_loops"] == 1
+        events = [
+            rec for rec in Ledger(ledger_path).replay().events
+            if rec.get("event") == "serve-worker-crash-loop"
+        ]
+        assert len(events) == 1
+        assert events[0]["worker"] == 0
+        assert events[0]["restarts"] == 1
+
+    def test_no_respawn_by_default(self, tiny_correct, tiny_dcn, tmp_path):
+        _, x, _ = tiny_correct
+        with ServePool(
+            tiny_dcn, workers=2, ledger_path=tmp_path / "pool.jsonl", max_batch=8,
+        ) as pool:
+            pool.processes[0].kill()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and 0 in pool.live_workers():
+                time.sleep(0.05)
+            time.sleep(0.5)  # give a (buggy) supervisor time to act
+            assert pool.live_workers() == [1]
+            assert pool.respawns == 0
+
+    def test_validation(self, tiny_dcn):
+        with pytest.raises(ValueError, match="max_restarts"):
+            ServePool(tiny_dcn, workers=1, max_restarts=-1)
+        with pytest.raises(ValueError, match="restart_window_s"):
+            ServePool(tiny_dcn, workers=1, restart_window_s=0.0)
+
+
+class TestBoundedSnapshot:
+    def test_wedged_worker_lands_in_stale_workers(self, tiny_correct, tiny_dcn,
+                                                  tmp_path):
+        _, x, _ = tiny_correct
+
+        # The worker naps through the dispatch; its heartbeat thread keeps
+        # the lease fresh, so only the snapshot timeout can bound the poll.
+        def nap(worker_id, n_requests):
+            time.sleep(2.0)
+
+        with ServePool(
+            tiny_dcn, workers=1, ledger_path=tmp_path / "pool.jsonl",
+            max_batch=8, lease_ttl=30.0, dispatch_hook=nap,
+        ) as pool:
+            ticket = pool.submit(x[:1])
+            time.sleep(0.2)  # let the dispatch enter the nap
+            t0 = time.perf_counter()
+            snapshot = pool.fleet_snapshot(timeout=0.3)
+            elapsed = time.perf_counter() - t0
+            assert elapsed < 1.5  # bounded, nowhere near the 2s nap
+            assert snapshot["workers"]["stale_workers"] == [0]
+            assert ticket.wait(10.0).status == "ok"
+            # Once the worker wakes, the next poll is fresh again.
+            assert pool.fleet_snapshot()["workers"]["stale_workers"] == []

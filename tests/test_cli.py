@@ -58,6 +58,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--overload", "panic"])
 
+    def test_serve_listen_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.listen is None  # local synthetic stream by default
+        assert args.max_restarts == 0
+        args = build_parser().parse_args(
+            ["serve", "--listen", "0.0.0.0:9000", "--workers", "2",
+             "--max-restarts", "3", "--restart-window", "10",
+             "--default-deadline-ms", "500"]
+        )
+        assert args.listen == "0.0.0.0:9000"
+        assert args.max_restarts == 3
+        assert args.restart_window == 10.0
+        assert args.default_deadline_ms == 500.0
+
+    def test_loadgen_connect_flags(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.connect is None
+        args = build_parser().parse_args(
+            ["loadgen", "--connect", "127.0.0.1:9000", "--clients", "8",
+             "--deadline-ms", "250", "--retries", "1"]
+        )
+        assert args.connect == "127.0.0.1:9000"
+        assert args.clients == 8
+        assert args.deadline_ms == 250.0
+        assert args.retries == 1
+
+    def test_hostport_parsing(self):
+        from repro.cli import _parse_hostport
+
+        assert _parse_hostport("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert _parse_hostport("localhost:0") == ("localhost", 0)
+        with pytest.raises(SystemExit):
+            _parse_hostport("no-port-here")
+        with pytest.raises(SystemExit):
+            _parse_hostport("host:not-a-number")
+
     def test_loadgen_flags(self):
         args = build_parser().parse_args(
             ["loadgen", "--requests", "64", "--adv-fraction", "0.1", "--window", "16"]
